@@ -1,0 +1,96 @@
+"""Design-choice ablations for the Strategy Optimizer (DESIGN.md §5).
+
+The paper deploys top-1 path search and argues top-K would cost more search
+time for little gain (§V-C1), and relies on the Workflow Manager's
+combining step to recover cost after decomposition (§V-C2).  This bench
+quantifies both choices on the evaluation applications:
+
+- top-1 vs top-4 vs top-16 beam: solution cost and nodes explored;
+- combining (rebalance) on vs off: whole-DAG plan cost vs the exhaustive
+  optimum.
+"""
+
+import time
+
+from conftest import emit
+
+from repro.core.path_search import ExhaustiveSearch, PathSearchOptimizer
+from repro.core.workflow import WorkflowManager
+from repro.dag import image_query, linear_pipeline, voice_assistant
+from repro.hardware import ConfigurationSpace
+from repro.profiler import oracle_profile
+
+SPACE = ConfigurationSpace.default()
+IT = 3.0
+
+
+def _profiles(app):
+    return {s.name: oracle_profile(s.profile, n_sigma=1.0) for s in app.specs}
+
+
+def topk_study():
+    app = linear_pipeline(8, sla=0.35 * 8)
+    profiles = _profiles(app)
+    fns = app.function_names
+    rows = []
+    for k in (1, 4, 16):
+        optimizer = PathSearchOptimizer(SPACE, top_k=k)
+        t0 = time.perf_counter()
+        res = optimizer.optimize_path(fns, profiles, IT, app.sla)
+        dt = time.perf_counter() - t0
+        rows.append((k, res.cost, res.nodes_explored, dt * 1e3))
+    return rows
+
+
+def combining_study():
+    out = {}
+    for app in (image_query(), voice_assistant()):
+        profiles = _profiles(app)
+        manager = WorkflowManager(SPACE)
+        full = manager.optimize(app, profiles, IT)
+
+        # disable the cost-recovery passes: per-path merge only
+        plain = WorkflowManager(SPACE)
+        plain._reduce_cost = lambda a, b, c, d, e, f: b  # type: ignore[assignment]
+        plain._rebalance = (  # type: ignore[assignment]
+            lambda a, b, c, d, e, f, max_rounds=8: b
+        )
+        merged_only = plain.optimize(app, profiles, IT)
+
+        opt = ExhaustiveSearch(SPACE).optimize_app(app, profiles, IT)
+        out[app.name] = (merged_only.cost, full.cost, opt.cost)
+    return out
+
+
+def regenerate():
+    lines = ["Search-design ablations"]
+    lines.append("\n(a) top-K beam width on an 8-function chain")
+    lines.append(f"{'K':>4} {'cost':>12} {'nodes':>7} {'time':>8}")
+    topk = topk_study()
+    for k, cost, nodes, ms in topk:
+        lines.append(f"{k:>4} {cost:>11.3e}$ {nodes:>7} {ms:>7.2f}ms")
+    lines.append("  (paper: top-1 deployed; deeper beams cost search time)")
+
+    lines.append("\n(b) Workflow Manager combining (merge-only vs full vs OPT)")
+    combining = combining_study()
+    for name, (merged, full, opt) in combining.items():
+        lines.append(
+            f"  {name:<16} merge-only={merged:.3e} combined={full:.3e} "
+            f"opt={opt:.3e} (recovered {merged / full - 1:+.0%})"
+        )
+    return "\n".join(lines), topk, combining
+
+
+def test_ablation_search_design(benchmark):
+    text, topk, combining = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    emit("ablation_search_design", text)
+    # beams never do worse on cost and always explore more nodes
+    costs = [c for _, c, _, _ in topk]
+    nodes = [n for _, _, n, _ in topk]
+    assert costs[1] <= costs[0] + 1e-15
+    assert costs[2] <= costs[1] + 1e-15
+    assert nodes[0] < nodes[1] <= nodes[2]
+    # the combining pass recovers cost and lands within 1.5x of OPT
+    for name, (merged, full, opt) in combining.items():
+        assert full <= merged + 1e-15, name
+        assert full <= 1.5 * opt, name

@@ -1,0 +1,56 @@
+"""Fig. 2 — inference latency under different hardware, warm vs cold.
+
+Regenerates the motivating measurement: warm- and cold-start latencies of
+HAP / TG / TRS on a 16-core CPU vs a full GPU, plus the price comparison.
+The paper's shape: ~10x warm-start GPU speedup for TRS, but cold starts on
+GPU *exceed* CPU because of the CUDA/model-transfer initialization, while
+the GPU's unit price is ~8x the 16-core CPU's.
+"""
+
+from conftest import emit
+
+from repro.dag.models import get_profile
+from repro.hardware import HardwareConfig
+
+MODELS = ("HAP", "TG", "TRS")
+
+
+def regenerate() -> tuple[str, dict]:
+    cpu, gpu = HardwareConfig.cpu(16), HardwareConfig.gpu(1.0)
+    lines = [
+        "Fig. 2 — inference latency (seconds) on CPU-16 vs full GPU",
+        f"{'model':>6} {'warm cpu':>9} {'warm gpu':>9} {'speedup':>8} "
+        f"{'cold cpu':>9} {'cold gpu':>9}",
+    ]
+    stats = {}
+    for name in MODELS:
+        p = get_profile(name)
+        warm_cpu = p.expected_inference_time(cpu)
+        warm_gpu = p.expected_inference_time(gpu)
+        cold_cpu = warm_cpu + p.expected_init_time(cpu)
+        cold_gpu = warm_gpu + p.expected_init_time(gpu)
+        stats[name] = dict(
+            warm_cpu=warm_cpu, warm_gpu=warm_gpu,
+            cold_cpu=cold_cpu, cold_gpu=cold_gpu,
+            speedup=warm_cpu / warm_gpu,
+        )
+        lines.append(
+            f"{name:>6} {warm_cpu:>9.3f} {warm_gpu:>9.3f} "
+            f"{warm_cpu / warm_gpu:>7.1f}x {cold_cpu:>9.3f} {cold_gpu:>9.3f}"
+        )
+    price_ratio = gpu.unit_cost / cpu.unit_cost
+    lines.append(
+        f"\nUnit price: GPU ${gpu.unit_cost_per_hour:.2f}/h vs CPU-16 "
+        f"${cpu.unit_cost_per_hour:.2f}/h ({price_ratio:.1f}x; paper: ~8x)"
+    )
+    return "\n".join(lines), stats
+
+
+def test_fig02_hardware_tradeoff(benchmark):
+    text, stats = benchmark(regenerate)
+    emit("fig02_hardware_tradeoff", text)
+    # Paper shapes: TRS ~10x warm speedup; cold start inverts the advantage.
+    assert 7.0 <= stats["TRS"]["speedup"] <= 13.0
+    for name in MODELS:
+        assert stats[name]["warm_gpu"] < stats[name]["warm_cpu"]
+        assert stats[name]["cold_gpu"] > stats[name]["cold_cpu"]

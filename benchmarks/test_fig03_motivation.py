@@ -1,0 +1,106 @@
+"""Fig. 3 — the motivating example: Orion / IceBreaker / optimal.
+
+A three-function pipeline with an SLA of 6.5 s serves two invocations that
+arrive a short inter-arrival time apart.  The paper's point:
+
+- Orion sizes configurations assuming "right pre-warming" always holds;
+  when the second invocation lands inside a function's (T + I) cycle an
+  extra instance must be spun up, so each such function is billed a full
+  terminate-and-recreate cycle (Fig. 3a) — the optimal plan is ~37.7 %
+  cheaper;
+- IceBreaker warms each function on CPU *and* GPU pools without using the
+  DAG, paying for both (Fig. 3b) — ~33 % over optimal.
+
+We reproduce the construction with three heavyweight Table I functions and
+the same decision logic the full policies implement.
+"""
+
+from conftest import emit
+
+from repro.core.path_search import ExhaustiveSearch, PathSearchOptimizer, build_candidates
+from repro.core.prewarming import cost_per_invocation
+from repro.dag import linear_pipeline
+from repro.hardware import ConfigurationSpace
+from repro.profiler import oracle_profile
+
+SLA = 6.5
+INTER_ARRIVAL = 3.0
+MODELS = ("SR", "TG", "TRS")
+SPACE = ConfigurationSpace.default()
+
+
+def orion_cost(functions, profiles) -> float:
+    """Cost of Orion's plan under the *actual* close arrivals."""
+    plan = PathSearchOptimizer(SPACE).optimize_path(
+        functions, profiles, 1e9, SLA  # right-pre-warming assumption
+    )
+    total = 0.0
+    for fn, cfg in plan.assignment.items():
+        t = profiles[fn].init_time(cfg)
+        i = profiles[fn].inference_time(cfg)
+        if t + i < INTER_ARRIVAL:
+            total += cost_per_invocation(t, i, INTER_ARRIVAL, cfg.unit_cost)
+        else:
+            # assumption broken: a second concurrent instance is launched,
+            # billing a full terminate-and-recreate cycle per invocation
+            total += (t + i) * cfg.unit_cost
+    return total
+
+
+def icebreaker_cost(functions, profiles) -> float:
+    """Cost of dual-pool (CPU + GPU) keep-alive warming per function."""
+    target = SLA / len(functions)
+    total = 0.0
+    for fn in functions:
+        profile = profiles[fn]
+        for pool in (SPACE.cpu_configs(), SPACE.gpu_configs()):
+            feasible = [c for c in pool if profile.inference_time(c) <= target]
+            cfg = (
+                min(feasible, key=lambda c: c.unit_cost)
+                if feasible
+                else min(pool, key=lambda c: profile.inference_time(c))
+            )
+            total += INTER_ARRIVAL * cfg.unit_cost  # kept alive across the gap
+    return total
+
+
+def optimal_cost(functions, profiles) -> float:
+    """Exhaustive co-optimized plan with adaptive cold-start management."""
+    return ExhaustiveSearch(SPACE).optimize_path(
+        functions, profiles, INTER_ARRIVAL, SLA
+    ).cost
+
+
+def regenerate():
+    app = linear_pipeline(3, sla=SLA, models=MODELS)
+    profiles = {s.name: oracle_profile(s.profile, n_sigma=1.0) for s in app.specs}
+    functions = app.function_names
+    build_candidates(functions, profiles, SPACE, INTER_ARRIVAL)  # warm caches
+    costs = {
+        "orion": orion_cost(functions, profiles),
+        "icebreaker": icebreaker_cost(functions, profiles),
+        "optimal": optimal_cost(functions, profiles),
+    }
+    lines = [
+        "Fig. 3 — motivating example: 3-function pipeline, "
+        f"SLA {SLA}s, IT {INTER_ARRIVAL}s",
+        f"{'solution':<12} {'cost/invocation':>16} {'vs optimal':>11}",
+    ]
+    for name, c in costs.items():
+        lines.append(
+            f"{name:<12} {c:>15.3e}$ {c / costs['optimal'] - 1:>+10.1%}"
+        )
+    lines.append(
+        "\nPaper: optimal is 37.7% below Orion and 33% below IceBreaker."
+    )
+    return "\n".join(lines), costs
+
+
+def test_fig03_motivation(benchmark):
+    text, costs = benchmark(regenerate)
+    emit("fig03_motivation", text)
+    assert costs["optimal"] < costs["orion"]
+    assert costs["optimal"] < costs["icebreaker"]
+    # the savings are substantial, as in the paper's example
+    assert costs["orion"] / costs["optimal"] > 1.15
+    assert costs["icebreaker"] / costs["optimal"] > 1.15

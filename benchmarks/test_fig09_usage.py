@@ -1,0 +1,62 @@
+"""Fig. 9 — hardware usage and cold-start behaviour across systems.
+
+(a) the ratio of CPU-to-GPU usage (billed dollars per backend): IceBreaker
+    leans hardest on GPUs (long-lived GPU instances), SMIless balances;
+(b) the fraction of container (re)initializations: Aquatope reinitializes
+    most (on-demand containers), GrandSLAm/IceBreaker barely at all
+    (always-on), SMIless keeps reinits low *and* off the critical path.
+"""
+
+import numpy as np
+from conftest import POLICY_NAMES, emit
+
+APPS = ("amber-alert", "image-query", "voice-assistant")
+
+
+def regenerate(e2e_runs):
+    lines = ["Fig. 9a — billed dollars per backend (CPU / GPU)"]
+    lines.append(
+        f"{'policy':<12} " + " ".join(f"{a:>21}" for a in APPS)
+    )
+    gpu_share = {}
+    for policy in POLICY_NAMES:
+        cells = []
+        shares = []
+        for app in APPS:
+            m = e2e_runs[(app, policy)]
+            cpu, gpu = m.summary()["cpu_cost"], m.summary()["gpu_cost"]
+            total = cpu + gpu
+            shares.append(gpu / total if total else 0.0)
+            cells.append(f"{cpu:>9.4f}/{gpu:>9.4f}")
+        gpu_share[policy] = float(np.mean(shares))
+        lines.append(f"{policy:<12} " + " ".join(f"{c:>21}" for c in cells))
+    lines.append("\nmean GPU share of billed cost:")
+    for policy in POLICY_NAMES:
+        lines.append(f"  {policy:<12} {gpu_share[policy]:>6.1%}")
+
+    lines.append("\nFig. 9b — fraction of stage executions hitting a (re)init")
+    reinit = {}
+    lines.append(f"{'policy':<12} " + " ".join(f"{a:>15}" for a in APPS) + f" {'mean':>7}")
+    for policy in POLICY_NAMES:
+        fracs = [e2e_runs[(app, policy)].reinit_fraction() for app in APPS]
+        reinit[policy] = float(np.mean(fracs))
+        lines.append(
+            f"{policy:<12} "
+            + " ".join(f"{f:>14.1%}" for f in fracs)
+            + f" {reinit[policy]:>6.1%}"
+        )
+    return "\n".join(lines), gpu_share, reinit
+
+
+def test_fig09_usage(benchmark, e2e_runs):
+    text, gpu_share, reinit = benchmark.pedantic(
+        regenerate, args=(e2e_runs,), rounds=1, iterations=1
+    )
+    emit("fig09_usage", text)
+    # Fig. 9a: IceBreaker is the most GPU-heavy system.
+    assert gpu_share["icebreaker"] >= gpu_share["smiless"]
+    # Fig. 9b: Aquatope reinitializes the most; always-on systems barely.
+    managed = ("smiless", "icebreaker", "grandslam", "aquatope")
+    assert reinit["aquatope"] == max(reinit[p] for p in managed)
+    assert reinit["grandslam"] < 0.10
+    assert reinit["smiless"] < 0.15

@@ -1,0 +1,107 @@
+"""Fig. 12 — prediction accuracy of the Online Predictor vs baselines.
+
+(a) invocation-number prediction: the bucketized LSTM classifier's
+    under-estimation error vs XGBoost (GBRT stand-in), ARIMA and
+    IceBreaker's Fourier predictor (paper: SMIless ~3 %, best of all);
+(b) inter-arrival prediction: MAPE and over-estimation probability of the
+    dual-LSTM vs the single-input SMIless-S and ARIMA (paper: MAPE 2.45 %,
+    over-estimation <0.64 %, ~10x fewer over-estimations than SMIless-S).
+
+Train on 1 h, test on held-out traffic of the same (spiky) regime, whose
+windowed counts have a variance-to-mean ratio above two as in §VII-C2.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.predictor import (
+    ArimaPredictor,
+    FipPredictor,
+    GbrtPredictor,
+    InterArrivalPredictor,
+    InvocationPredictor,
+)
+from repro.predictor.interarrival import gaps_from_counts
+from repro.predictor.metrics import (
+    mean_absolute_percentage_error,
+    overestimation_rate,
+    underestimation_rate,
+)
+from repro.workload import AzureLikeWorkload
+
+TRAIN_SECONDS = 3600.0
+TEST_SECONDS = 4 * 3600.0  # scaled-down stand-in for the 21 h test set
+
+
+def regenerate():
+    train_trace = AzureLikeWorkload.preset("spiky", seed=30).generate(TRAIN_SECONDS)
+    test_trace = AzureLikeWorkload.preset("spiky", seed=31).generate(TEST_SECONDS)
+    train = train_trace.counts_per_window(1.0)
+    test = test_trace.counts_per_window(1.0)
+    vmr = test_trace.variance_to_mean_ratio(1.0)
+
+    # -- (a) invocation number ------------------------------------------------
+    under = {}
+    lstm = InvocationPredictor(bucket_size=1, n_buckets=16, epochs=4, seed=0)
+    lstm.fit(train)
+    a, p = lstm.rolling_predict(test)
+    under["smiless (lstm)"] = underestimation_rate(a, p)
+    for name, model in (
+        ("gbrt (xgboost)", GbrtPredictor(lags=12)),
+        ("arima", ArimaPredictor(p=8)),
+        ("fip (icebreaker)", FipPredictor(n_harmonics=8)),
+    ):
+        model.fit(train)
+        a, p = model.rolling_predict(test)
+        under[name] = underestimation_rate(a, np.round(p))
+
+    # -- (b) inter-arrival time ----------------------------------------------
+    ia = {}
+    for name, dual in (("smiless (dual)", True), ("smiless-s (single)", False)):
+        model = InterArrivalPredictor(dual_input=dual, epochs=15, seed=0)
+        model.fit(train)
+        a, p = model.evaluate(test)
+        ia[name] = (
+            mean_absolute_percentage_error(a, p),
+            overestimation_rate(a, p),
+        )
+    gaps_train = gaps_from_counts(train)
+    gaps_test = gaps_from_counts(test)
+    arima = ArimaPredictor(p=6).fit(gaps_train)
+    a, p = arima.rolling_predict(gaps_test)
+    ia["arima"] = (
+        mean_absolute_percentage_error(a, p),
+        overestimation_rate(a, p),
+    )
+
+    lines = [
+        f"Fig. 12 — prediction accuracy (test dispersion VMR={vmr:.1f})",
+        "\n(a) invocation-number under-estimation rate "
+        "(under-estimates cause SLA violations)",
+    ]
+    for name, u in sorted(under.items(), key=lambda kv: kv[1]):
+        lines.append(f"  {name:<18} {u:>6.1%}")
+    lines.append("  (paper: SMIless ~3%, beating all baselines)")
+    lines.append(
+        "\n(b) inter-arrival time: MAPE / over-estimation rate "
+        "(over-estimates delay pre-warming)"
+    )
+    for name, (m, o) in ia.items():
+        lines.append(f"  {name:<18} MAPE={m:>5.1f}%  over={o:>6.2%}")
+    lines.append(
+        "  (paper: dual-LSTM MAPE 2.45%, over <0.64%, ~10x below single-input)"
+    )
+    return "\n".join(lines), under, ia, vmr
+
+
+def test_fig12_prediction(benchmark):
+    text, under, ia, vmr = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    emit("fig12_prediction", text)
+    assert vmr > 2.0  # §VII-C2 test-set dispersion
+    # (a) the classifier under-estimates least
+    assert under["smiless (lstm)"] == min(under.values())
+    assert under["smiless (lstm)"] < 0.05
+    # (b) the asymmetric LSTM over-estimates far less than ARIMA
+    assert ia["smiless (dual)"][1] < ia["arima"][1]
+    # and achieves competitive MAPE
+    assert ia["smiless (dual)"][0] <= ia["arima"][0] * 1.6

@@ -1,0 +1,80 @@
+"""Fig. 14 — adaptation to bursty arrivals.
+
+Serves the Voice Assistant under the bursty regime and inspects the
+busiest 60-second window:
+
+(a) the number of pods tracks the number of invocations (fast response to
+    workload changes);
+(b) the CPU-to-GPU instance ratio rises during the burst — scale-out lands
+    on fast-starting CPU instances while the few GPU instances absorb
+    batches (§VII-D).
+"""
+
+import numpy as np
+from conftest import emit
+
+
+def regenerate(burst_setup):
+    m = burst_setup.run("smiless")
+    pods = m.pods_over_time()
+    arrivals = m.arrivals_over_time()
+    counts = arrivals[:, 1]
+    window = 60
+    sums = np.convolve(counts, np.ones(window), mode="valid")
+    start = int(np.argmax(sums))
+    sl = slice(start, start + window)
+
+    lines = [
+        "Fig. 14 — burst adaptation (voice-assistant, busiest 60s window "
+        f"starting t={start}s, {int(sums[start])} invocations)",
+        f"{'t':>5} {'arrivals':>9} {'cpu pods':>9} {'gpu pods':>9}",
+    ]
+    for k in range(start, start + window, 3):
+        lines.append(
+            f"{arrivals[k, 0]:>5.0f} {int(arrivals[k, 1]):>9} "
+            f"{int(pods[k, 1]):>9} {int(pods[k, 2]):>9}"
+        )
+
+    # Calm windows: no burst-level count within the trailing 20 s (other
+    # bursts and their holdover would otherwise contaminate the baseline).
+    hold = 20
+    rolling_peak = np.array(
+        [counts[max(0, k - hold): k + 1].max() for k in range(len(counts))]
+    )
+    calm_mask = rolling_peak < 2
+    calm_mask[sl] = False
+    mean_burst = pods[sl, 1:].mean(axis=0)  # (cpu, gpu)
+    mean_calm = pods[calm_mask, 1:].mean(axis=0)
+    delta = mean_burst - mean_calm
+    lines.append(
+        f"\nmean pods — burst window cpu={mean_burst[0]:.1f} gpu={mean_burst[1]:.1f}"
+        f" vs rest of run cpu={mean_calm[0]:.1f} gpu={mean_calm[1]:.1f}"
+    )
+    lines.append(
+        f"scale-out delta: cpu +{delta[0]:.1f} pods, gpu +{delta[1]:.1f} pods "
+        "(paper: the CPU share rises dramatically in bursts — GPUs batch, "
+        "CPUs scale out)"
+    )
+    # responsiveness: correlation between (5s-smoothed) arrivals and the
+    # pod count, at the best lag within the scale-out reaction range
+    smooth = np.convolve(counts, np.ones(5) / 5.0, mode="same")
+    corr = max(
+        float(np.corrcoef(smooth[sl][:-lag], pods[sl, 1][lag:])[0, 1])
+        for lag in range(1, 7)
+    )
+    lines.append(f"arrivals->pods correlation (best lag 1-6s): {corr:.2f}")
+    return "\n".join(lines), mean_burst, mean_calm, delta, corr
+
+
+def test_fig14_burst(benchmark, burst_setup):
+    text, mean_burst, mean_calm, delta, corr = benchmark.pedantic(
+        regenerate, args=(burst_setup,), rounds=1, iterations=1
+    )
+    emit("fig14_burst", text)
+    # (a) the fleet grows substantially during the burst...
+    assert mean_burst.sum() > 1.5 * mean_calm.sum()
+    # ...tracking arrivals within seconds
+    assert corr > 0.25
+    # (b) the scale-out is CPU-dominated (fast cold starts), as in Fig. 14b
+    assert delta[0] >= delta[1]
+    assert delta[0] > 1.0

@@ -1,0 +1,45 @@
+"""Fig. 15 — auto-scaling performance under bursty workloads.
+
+All systems serve the same bursty Voice Assistant trace.  Paper shapes:
+
+- SMIless achieves the best cost / SLA trade-off of the online scalers;
+- Aquatope, Orion and IceBreaker cost >= 1.41x SMIless (here IceBreaker's
+  dual always-on pools dominate the cost);
+- GrandSLAm is cheap but its restricted scaling produces SLA violations
+  (paper: up to 20 %).
+"""
+
+from conftest import POLICY_NAMES, emit
+
+
+def regenerate(burst_setup):
+    rows = {}
+    for policy in POLICY_NAMES:
+        m = burst_setup.run(policy)
+        rows[policy] = (m.total_cost(), m.violation_ratio())
+    lines = [
+        "Fig. 15 — auto-scaling under bursts (voice-assistant, bursty trace)",
+        f"{'policy':<12} {'cost':>9} {'x smiless':>10} {'violations':>11}",
+    ]
+    base = rows["smiless"][0]
+    for policy in POLICY_NAMES:
+        c, v = rows[policy]
+        lines.append(
+            f"{policy:<12} ${c:>8.4f} {c / base:>9.2f}x {v:>10.1%}"
+        )
+    return "\n".join(lines), rows
+
+
+def test_fig15_autoscaling(benchmark, burst_setup):
+    text, rows = benchmark.pedantic(
+        regenerate, args=(burst_setup,), rounds=1, iterations=1
+    )
+    emit("fig15_autoscaling", text)
+    smiless_cost, smiless_viol = rows["smiless"]
+    # the cheap under-provisioners violate more than SMIless
+    assert rows["orion"][1] > smiless_viol
+    assert rows["aquatope"][1] > smiless_viol
+    # the over-provisioner costs more than SMIless without dominating it
+    assert rows["icebreaker"][0] > smiless_cost
+    # GrandSLAm's restricted scaling produces violations under bursts
+    assert rows["grandslam"][1] > 0.03

@@ -1,0 +1,103 @@
+"""Fig. 16 — system overhead of the Strategy Optimizer and Auto-scaler.
+
+(a) strategy-search wall time vs the longest path length: the paper finds a
+    near-optimal strategy for a 12-function path within 20 ms, a 10–100x
+    reduction over alternative path-search methods (here: the constrained-
+    shortest-path DP and exhaustive enumeration);
+(b) the Auto-scaler's per-function optimization takes well under a
+    millisecond-scale budget (paper: <0.1 ms in optimized native code).
+"""
+
+import time
+
+from conftest import emit
+
+from repro.core.autoscaler import AutoScaler
+from repro.core.path_search import DpSearch, ExhaustiveSearch, PathSearchOptimizer
+from repro.dag import linear_pipeline
+from repro.hardware import ConfigurationSpace
+from repro.profiler import oracle_profile
+
+SPACE = ConfigurationSpace.default()
+LENGTHS = (2, 4, 6, 8, 10, 12)
+SLA_PER_FN = 0.35  # keeps the search non-trivial at every length
+IT = 2.0
+
+
+def _profiles(app):
+    return {s.name: oracle_profile(s.profile, n_sigma=1.0) for s in app.specs}
+
+
+def _time(fn, repeats=5) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def regenerate():
+    lines = [
+        "Fig. 16a — strategy search wall time (ms) vs longest path length",
+        f"{'N':>3} {'smiless top-1':>14} {'csp dp':>10} {'exhaustive':>11} "
+        f"{'speedup vs dp':>13}",
+    ]
+    search_ms = {}
+    for n in LENGTHS:
+        app = linear_pipeline(n, sla=SLA_PER_FN * n)
+        profiles = _profiles(app)
+        fns = app.function_names
+        top1 = PathSearchOptimizer(SPACE)
+        dp = DpSearch(SPACE, n_bins=200)
+        t_top1 = _time(lambda: top1.optimize_path(fns, profiles, IT, app.sla))
+        t_dp = _time(lambda: dp.optimize_path(fns, profiles, IT, app.sla), repeats=2)
+        if n <= 4:
+            ex = ExhaustiveSearch(SPACE)
+            t_ex = _time(
+                lambda: ex.optimize_path(fns, profiles, IT, app.sla), repeats=1
+            )
+            ex_cell = f"{t_ex * 1e3:>10.1f}"
+        else:
+            ex_cell = f"{'-':>10}"
+        search_ms[n] = (t_top1 * 1e3, t_dp * 1e3)
+        lines.append(
+            f"{n:>3} {t_top1 * 1e3:>13.2f} {t_dp * 1e3:>10.1f} {ex_cell} "
+            f"{t_dp / t_top1:>12.0f}x"
+        )
+    lines.append("  (paper: <20 ms at N=12 with 10-100x reduction)")
+
+    app = linear_pipeline(1, models=("TG",))
+    profile = _profiles(app)[app.function_names[0]]
+    scaler = AutoScaler(SPACE)
+    t_scale = _time(
+        lambda: scaler.plan("TG", profile, 16, 1.0, 0.8), repeats=20
+    )
+    lines.append(
+        f"\nFig. 16b — Auto-scaler optimization: {t_scale * 1e3:.3f} ms "
+        "per function (paper: <0.1 ms in native code)"
+    )
+    return "\n".join(lines), search_ms, t_scale
+
+
+def test_fig16_overhead(benchmark, setups):
+    # benchmark the headline operation itself: top-1 search on a 12-chain
+    app = linear_pipeline(12, sla=SLA_PER_FN * 12)
+    profiles = _profiles(app)
+    optimizer = PathSearchOptimizer(SPACE)
+    benchmark(
+        lambda: optimizer.optimize_path(
+            app.function_names, profiles, IT, app.sla
+        )
+    )
+    text, search_ms, t_scale = regenerate()
+    emit("fig16_overhead", text)
+    # near-linear growth, comfortably under 20 ms at N = 12
+    assert search_ms[12][0] < 20.0
+    # roughly 10-100x cheaper than the DP alternative at realistic depths
+    for n, (t1, t_dp) in search_ms.items():
+        if n >= 6:
+            assert t_dp / t1 > 5.0, n
+    assert max(t_dp / t1 for t1, t_dp in search_ms.values()) >= 8.0
+    # auto-scaler solves one function in well under 5 ms
+    assert t_scale < 5e-3

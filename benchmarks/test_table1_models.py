@@ -1,0 +1,35 @@
+"""Table I — the twelve inference models and their simulated profiles.
+
+Regenerates the model inventory with the ground-truth latency/init numbers
+this reproduction substitutes for the real checkpoints (DESIGN.md §1).
+"""
+
+from conftest import emit
+
+from repro.dag.models import MODEL_REGISTRY
+from repro.hardware import HardwareConfig
+
+
+def regenerate() -> str:
+    cpu4, gpu = HardwareConfig.cpu(4), HardwareConfig.gpu(1.0)
+    lines = [
+        "Table I — inference models (simulated ground truth)",
+        f"{'name':>5} {'architecture':<12} {'dataset':<9} "
+        f"{'field':<22} {'I@cpu4':>7} {'I@gpu':>7} {'T@cpu':>6} {'T@gpu':>6}",
+    ]
+    for info in MODEL_REGISTRY.values():
+        p = info.profile
+        lines.append(
+            f"{info.name:>5} {info.architecture:<12} {info.dataset:<9} "
+            f"{info.field:<22} "
+            f"{p.expected_inference_time(cpu4):>6.2f}s "
+            f"{p.expected_inference_time(gpu):>6.2f}s "
+            f"{p.init_cpu.mean:>5.1f}s {p.init_gpu.mean:>5.1f}s"
+        )
+    return "\n".join(lines)
+
+
+def test_table1_models(benchmark):
+    text = benchmark(regenerate)
+    emit("table1_models", text)
+    assert len(MODEL_REGISTRY) == 12

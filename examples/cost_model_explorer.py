@@ -1,0 +1,83 @@
+"""Exploring the adaptive cost model and calibrating your own models.
+
+Three short studies, no simulation required:
+
+1. the Fig. 5 trade-off: per-invocation cost of a function/configuration
+   pair across inter-arrival times, with the pre-warm / keep-alive boundary;
+2. the configuration frontier the path search walks: (inference time,
+   adaptive cost) points and which of them are dominated;
+3. bring-your-own-model calibration: fit Eq. (1)/(2) from a handful of
+   wall-clock measurements and plug the result into the optimizer.
+
+Run:  python examples/cost_model_explorer.py
+"""
+
+import numpy as np
+
+from repro.core import config_frontier, cost_vs_inter_arrival, regime_boundary
+from repro.dag.models import get_profile
+from repro.hardware import (
+    ConfigurationSpace,
+    HardwareConfig,
+    Measurement,
+    latency_params_from_measurements,
+    speedup_curve,
+)
+from repro.profiler import oracle_profile
+
+
+def study_cost_curve() -> None:
+    print("=== 1. adaptive cost vs inter-arrival time (TG on cpu-8) ===")
+    profile = oracle_profile(get_profile("TG"), n_sigma=1.0)
+    cfg = HardwareConfig.cpu(8)
+    boundary = regime_boundary(profile, cfg)
+    its = [round(boundary * f, 2) for f in (0.25, 0.5, 0.9, 1.1, 2.0, 4.0)]
+    print(f"regime boundary T+I = {boundary:.2f}s\n")
+    print(f"{'IT':>7} {'policy':<11} {'cost/invocation':>16}")
+    for point in cost_vs_inter_arrival(profile, cfg, its):
+        print(
+            f"{point.inter_arrival:>6.2f}s {point.policy.value:<11} "
+            f"{point.cost:>15.3e}$"
+        )
+    print("keep-alive cost grows with the gap; pre-warm cost is flat.\n")
+
+
+def study_frontier() -> None:
+    print("=== 2. configuration frontier (TRS, IT = 5s) ===")
+    profile = oracle_profile(get_profile("TRS"), n_sigma=1.0)
+    points = config_frontier(profile, ConfigurationSpace.default(), 5.0)
+    print(f"{'config':>8} {'I':>7} {'cost':>12} {'dominated':>10}")
+    for p in points:
+        print(
+            f"{p.config.key:>8} {p.inference_time:>6.2f}s {p.cost:>11.3e}$ "
+            f"{'yes' if p.dominated else '':>10}"
+        )
+    kept = sum(1 for p in points if not p.dominated)
+    print(f"\n{kept} of {len(points)} configurations are Pareto-relevant.\n")
+
+
+def study_calibration() -> None:
+    print("=== 3. calibrate a custom model from measurements ===")
+    # pretend these came from `time python serve.py --cores N --batch B`
+    rng = np.random.default_rng(0)
+    truth = lambda r, b: b * (3.0 / r + 0.08) + 0.03
+    measurements = [
+        Measurement(r, b, truth(r, b) * float(rng.lognormal(0, 0.05)))
+        for r in (1, 2, 4, 8, 16)
+        for b in (1, 2, 4)
+    ]
+    result = latency_params_from_measurements(measurements)
+    print(
+        f"fitted alpha={result.params.alpha:.3f} beta={result.params.beta:.3f} "
+        f"gamma={result.params.gamma:.3f} (SMAPE {result.smape_percent:.1f}% "
+        f"over {result.n_measurements} measurements)"
+    )
+    print(f"\n{'cores':>6} {'seconds':>8} {'speedup':>8}")
+    for r, t, s in speedup_curve(result.params, [1, 2, 4, 8, 16]):
+        print(f"{r:>6g} {t:>7.2f}s {s:>7.1f}x")
+
+
+if __name__ == "__main__":
+    study_cost_curve()
+    study_frontier()
+    study_calibration()

@@ -1,0 +1,71 @@
+"""Bring your own application: custom DAG, SLA sweep, strategy inspection.
+
+Shows the library as a downstream user would adopt it: compose an
+application from the Table I model registry (or your own
+:class:`~repro.hardware.PerfProfile`), then ask the Optimizer Engine how the
+cost-minimal strategy shifts as the SLA tightens (the Fig. 10 effect).
+
+Run:  python examples/custom_application.py
+"""
+
+from repro.core import OptimizerEngine
+from repro.dag import AppDAG, FunctionSpec
+from repro.dag.models import get_profile
+from repro.hardware import ConfigurationSpace
+from repro.profiler import OfflineProfiler
+
+
+def build_app(sla: float) -> AppDAG:
+    """A custom video-moderation pipeline: OD fans into NER + QA, then TTS."""
+    functions = [
+        FunctionSpec("detect", get_profile("OD")),
+        FunctionSpec("entities", get_profile("NER")),
+        FunctionSpec("answer", get_profile("QA")),
+        FunctionSpec("speak", get_profile("TTS")),
+    ]
+    edges = [
+        ("detect", "entities"),
+        ("detect", "answer"),
+        ("entities", "speak"),
+        ("answer", "speak"),
+    ]
+    return AppDAG("video-moderation", functions, edges, sla=sla)
+
+
+def main() -> None:
+    profiles = OfflineProfiler().profile_app(build_app(2.0), rng=5)
+    engine = OptimizerEngine(ConfigurationSpace.default())
+
+    inter_arrival = 6.0
+    print(f"Strategy vs SLA at inter-arrival time {inter_arrival:.0f}s\n")
+    print(f"{'SLA':>5} {'feasible':>9} {'latency':>8} {'cost/inv':>12}  assignment")
+    for sla in (4.0, 2.0, 1.5, 1.0, 0.6, 0.3):
+        app = build_app(sla)
+        strategy = engine.strategy(app, profiles, inter_arrival)
+        assignment = " ".join(
+            f"{fn}={cfg.key}" for fn, cfg in strategy.assignment.items()
+        )
+        print(
+            f"{sla:>5.1f} {str(strategy.feasible):>9} "
+            f"{strategy.latency:>7.2f}s ${strategy.cost:>10.3e}  {assignment}"
+        )
+
+    print(
+        "\nTighter SLAs shift functions to faster (more expensive) hardware;"
+        "\npast the fastest configuration the SLA becomes infeasible."
+    )
+
+    # The Auto-scaler's view: a burst of 12 invocations in one window.
+    app = build_app(2.0)
+    strategy = engine.strategy(app, profiles, inter_arrival)
+    decisions = engine.scale(app, profiles, strategy, 12, 1.0)
+    print("\nBurst of 12 invocations/window -> batching + scale-out:")
+    for fn, d in decisions.items():
+        print(
+            f"  {fn:9s} {d.config.key:7s} batch={d.batch:<2d} "
+            f"instances={d.instances:<2d} stage={d.inference_time:.2f}s"
+        )
+
+
+if __name__ == "__main__":
+    main()

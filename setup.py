@@ -1,0 +1,11 @@
+"""Legacy setuptools shim.
+
+The execution environment has no network access and no ``wheel`` package, so
+PEP 517 editable installs (which build a wheel) are unavailable.  This shim
+lets ``pip install -e . --no-build-isolation`` and ``python setup.py
+develop`` work with plain setuptools.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,35 @@
+"""SMIless reproduction: DAG-based ML inference serving under serverless computing.
+
+A from-scratch reproduction of *SMIless: Serving DAG-based Inference with
+Dynamic Invocations under Serverless Computing* (SC 2024).  The library
+contains the paper's contribution -- co-optimization of heterogeneous
+resource configuration and cold-start management through adaptive
+pre-warming and path search -- plus every substrate it depends on: a
+discrete-event serverless platform simulator, ground-truth performance
+models for the Table I workloads, an Azure-like workload generator, the
+offline profiler, the LSTM-based online predictors, and the baseline systems
+(Orion, IceBreaker, GrandSLAm, Aquatope, exhaustive-search OPT).
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+from repro.dag import AppDAG, FunctionSpec, amber_alert, image_query, voice_assistant
+from repro.hardware import Backend, ConfigurationSpace, HardwareConfig
+from repro.workload import AzureLikeWorkload, Trace
+
+__all__ = [
+    "__version__",
+    "AppDAG",
+    "FunctionSpec",
+    "amber_alert",
+    "image_query",
+    "voice_assistant",
+    "Backend",
+    "ConfigurationSpace",
+    "HardwareConfig",
+    "AzureLikeWorkload",
+    "Trace",
+]

@@ -1,0 +1,13 @@
+"""Gaussian-process Bayesian optimization (the Aquatope substrate).
+
+Aquatope [24] tunes serverless workflow configurations with uncertainty-
+aware Bayesian optimization.  This package provides the from-scratch
+machinery its policy reproduction uses: an RBF-kernel GP regressor with
+analytic posterior and an expected-improvement loop over a bounded box
+(configurations are encoded as per-function ordinals in [0, 1]).
+"""
+
+from repro.bayesopt.bo import BayesianOptimizer, BOResult
+from repro.bayesopt.gp import GaussianProcess, rbf_kernel
+
+__all__ = ["GaussianProcess", "rbf_kernel", "BayesianOptimizer", "BOResult"]

@@ -1,0 +1,226 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Subcommands wrap the :mod:`repro.experiments` runners:
+
+- ``compare``   — serve one application under several policies
+- ``sweep``     — SLA sweep under one policy
+- ``multiapp``  — co-run all three evaluation apps on one cluster
+- ``profile``   — print a function's profiled latency/init models
+- ``apps``      — list the built-in applications and workload presets
+
+Examples::
+
+    python -m repro.cli compare image-query --preset diurnal --duration 300
+    python -m repro.cli sweep amber-alert --slas 1 2 4 8
+    python -m repro.cli multiapp --policy smiless
+    python -m repro.cli profile TRS
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import (
+    build_environment,
+    run_comparison,
+    run_multi_app,
+    run_sla_sweep,
+)
+from repro.experiments.runners import APP_BUILDERS, POLICY_NAMES
+from repro.workload.azure import PRESETS
+
+
+def _print_rows(rows) -> None:
+    print(
+        f"{'policy':<16} {'cost':>9} {'violations':>11} {'mean lat':>9} "
+        f"{'p99 lat':>8} {'reinit':>7}"
+    )
+    for r in rows:
+        print(
+            f"{r.policy:<16} ${r.total_cost:>8.4f} {r.violation_ratio:>10.1%} "
+            f"{r.mean_latency:>8.2f}s {r.p99_latency:>7.2f}s "
+            f"{r.reinit_fraction:>6.1%}"
+        )
+
+
+def cmd_compare(args) -> int:
+    env = build_environment(
+        args.app,
+        preset=args.preset,
+        sla=args.sla,
+        duration=args.duration,
+        seed=args.seed,
+    )
+    print(
+        f"{args.app}: {len(env.trace)} invocations over "
+        f"{env.trace.duration:.0f}s (preset {args.preset!r}, SLA {args.sla}s)\n"
+    )
+    _print_rows(run_comparison(env, tuple(args.policies)))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    env = build_environment(
+        args.app, preset=args.preset, duration=args.duration, seed=args.seed
+    )
+    print(f"SLA sweep on {args.app} under {args.policy!r}\n")
+    print(f"{'SLA':>6} {'cost':>9} {'violations':>11} {'mean lat':>9}")
+    for sla, row in run_sla_sweep(env, tuple(args.slas), args.policy):
+        print(
+            f"{sla:>5.1f}s ${row.total_cost:>8.4f} "
+            f"{row.violation_ratio:>10.1%} {row.mean_latency:>8.2f}s"
+        )
+    return 0
+
+
+def cmd_multiapp(args) -> int:
+    envs = [
+        build_environment(
+            name,
+            preset=args.preset,
+            duration=args.duration,
+            seed=args.seed + i,
+        )
+        for i, name in enumerate(APP_BUILDERS)
+    ]
+    print(
+        f"Co-running {len(envs)} applications on one shared cluster "
+        f"under {args.policy!r}\n"
+    )
+    results = run_multi_app(envs, args.policy)
+    _print_rows(
+        [row for _, row in sorted(results.items())]
+    )
+    total = sum(r.total_cost for r in results.values())
+    print(f"\ntotal cluster bill: ${total:.4f}")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from repro.dag.models import get_model
+    from repro.hardware import GroundTruthPerformance, HardwareConfig
+    from repro.profiler import OfflineProfiler
+
+    info = get_model(args.model)
+    oracle = GroundTruthPerformance(info.profile, rng=args.seed)
+    fitted = OfflineProfiler().profile_function(info.name, oracle)
+    print(f"{info.name} — {info.full_name} ({info.architecture}, {info.dataset})\n")
+    print(f"{'config':>8} {'truth':>8} {'fitted':>8}")
+    for cfg in [HardwareConfig.cpu(c) for c in (1, 4, 16)] + [
+        HardwareConfig.gpu(f) for f in (0.1, 0.5, 1.0)
+    ]:
+        print(
+            f"{cfg.key:>8} {info.profile.expected_inference_time(cfg):>7.3f}s "
+            f"{fitted.inference_time(cfg):>7.3f}s"
+        )
+    for backend, cfg in (("cpu", HardwareConfig.cpu(1)), ("gpu", HardwareConfig.gpu(0.1))):
+        print(
+            f"init {backend}: mean={fitted.mean_init_time(cfg):.2f}s "
+            f"robust={fitted.init_time(cfg):.2f}s"
+        )
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.simulator import ServerlessSimulator
+    from repro.simulator.reporting import format_report
+    from repro.workload.analysis import format_summary, summarize
+
+    env = build_environment(
+        args.app,
+        preset=args.preset,
+        sla=args.sla,
+        duration=args.duration,
+        seed=args.seed,
+    )
+    print("workload:")
+    print(format_summary(summarize(env.trace)))
+    print()
+    metrics = ServerlessSimulator(
+        env.app, env.trace, env.make_policy(args.policy), seed=args.seed + 3
+    ).run()
+    print(format_report(metrics))
+    return 0
+
+
+def cmd_apps(args) -> int:
+    print("applications:")
+    for name, builder in APP_BUILDERS.items():
+        app = builder()
+        print(
+            f"  {name:<16} {len(app)} functions, longest path "
+            f"{app.longest_path_length()}, default SLA {app.sla}s"
+        )
+    print("\nworkload presets:")
+    for name, p in PRESETS.items():
+        print(
+            f"  {name:<10} mean_gap={p.mean_gap:g}s cv={p.gap_cv:g} "
+            f"bursts={'yes' if p.burst_frequency else 'no'} "
+            f"idle={'yes' if p.idle_fraction else 'no'}"
+        )
+    print("\npolicies:", ", ".join(POLICY_NAMES))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro.cli`` argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro.cli", description="SMIless reproduction experiments"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--preset", default="steady", choices=sorted(PRESETS))
+        p.add_argument("--duration", type=float, default=600.0)
+        p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("compare", help="compare policies on one app")
+    p.add_argument("app", choices=sorted(APP_BUILDERS))
+    p.add_argument("--sla", type=float, default=2.0)
+    p.add_argument(
+        "--policies",
+        nargs="+",
+        default=["smiless", "orion", "icebreaker", "grandslam"],
+        choices=POLICY_NAMES,
+    )
+    common(p)
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("sweep", help="SLA sweep under one policy")
+    p.add_argument("app", choices=sorted(APP_BUILDERS))
+    p.add_argument("--policy", default="smiless", choices=POLICY_NAMES)
+    p.add_argument("--slas", nargs="+", type=float, default=[1.0, 2.0, 4.0, 8.0])
+    common(p)
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("multiapp", help="co-run the three evaluation apps")
+    p.add_argument("--policy", default="smiless", choices=POLICY_NAMES)
+    common(p)
+    p.set_defaults(func=cmd_multiapp)
+
+    p = sub.add_parser("report", help="serve one app and print the full report")
+    p.add_argument("app", choices=sorted(APP_BUILDERS))
+    p.add_argument("--policy", default="smiless", choices=POLICY_NAMES)
+    p.add_argument("--sla", type=float, default=2.0)
+    common(p)
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("profile", help="profile one Table I model")
+    p.add_argument("model")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser("apps", help="list applications, presets and policies")
+    p.set_defaults(func=cmd_apps)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""SMIless core: the paper's contribution (§V).
+
+- :mod:`repro.core.prewarming` — adaptive cold-start management: pre-warming
+  window sizes, the per-invocation cost law of Eq. (3)/(5), and plan
+  evaluation (E2E latency + total cost) for a configuration assignment;
+- :mod:`repro.core.path_search` — the top-K path search over the multi-way
+  configuration tree (§V-C1), plus an exhaustive-search reference;
+- :mod:`repro.core.workflow` — the Workflow Manager: DAG decomposition into
+  simple paths, parallel per-path optimization, branch combining (§V-C2);
+- :mod:`repro.core.autoscaler` — adaptive batching and scale-out via the
+  bisection solution of Eq. (7)/(8) (§V-D);
+- :mod:`repro.core.engine` — the Optimizer Engine facade tying the pieces
+  into the per-window control loop.
+"""
+
+from repro.core.analysis import (
+    CostPoint,
+    FrontierPoint,
+    config_frontier,
+    cost_vs_inter_arrival,
+    regime_boundary,
+    sla_cost_curve,
+)
+from repro.core.autoscaler import AutoScaler, ScalingDecision
+from repro.core.engine import OptimizerEngine
+from repro.core.path_search import (
+    ExhaustiveSearch,
+    PathSearchOptimizer,
+    SearchResult,
+)
+from repro.core.prewarming import (
+    ColdStartPolicy,
+    FunctionPlan,
+    PlanEvaluation,
+    cost_per_invocation,
+    evaluate_assignment,
+    policy_for,
+    prewarm_window,
+)
+from repro.core.workflow import ExecutionStrategy, WorkflowManager
+
+__all__ = [
+    "ColdStartPolicy",
+    "FunctionPlan",
+    "PlanEvaluation",
+    "policy_for",
+    "prewarm_window",
+    "cost_per_invocation",
+    "evaluate_assignment",
+    "PathSearchOptimizer",
+    "ExhaustiveSearch",
+    "SearchResult",
+    "WorkflowManager",
+    "ExecutionStrategy",
+    "AutoScaler",
+    "ScalingDecision",
+    "OptimizerEngine",
+    "CostPoint",
+    "FrontierPoint",
+    "cost_vs_inter_arrival",
+    "regime_boundary",
+    "config_frontier",
+    "sla_cost_curve",
+]

@@ -1,0 +1,128 @@
+"""Analytical views of the adaptive cold-start trade-off (Fig. 5 reasoning).
+
+Helpers that tabulate the cost law of §V-B as a function of the
+inter-arrival time, configuration, or SLA — the curves the paper reasons
+about when motivating adaptive management:
+
+- :func:`cost_vs_inter_arrival` — per-invocation cost of one (function,
+  config) pair across IT values, with the pre-warm/keep-alive boundary;
+- :func:`regime_boundary` — the IT at which the adaptive policy switches;
+- :func:`config_frontier` — per-configuration (inference time, adaptive
+  cost) points: the Pareto frontier the path search walks;
+- :func:`sla_cost_curve` — the application's planned cost across SLAs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.prewarming import ColdStartPolicy, cost_per_invocation, policy_for
+from repro.core.workflow import WorkflowManager
+from repro.dag.graph import AppDAG
+from repro.hardware.configs import ConfigurationSpace, HardwareConfig
+from repro.profiler.profiles import FunctionProfile
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class CostPoint:
+    """One point of a cost-vs-IT curve."""
+
+    inter_arrival: float
+    cost: float
+    policy: ColdStartPolicy
+
+
+def regime_boundary(
+    profile: FunctionProfile, config: HardwareConfig, batch: int = 1
+) -> float:
+    """The IT below which keep-alive is chosen: ``T + I`` (§V-B1)."""
+    return profile.init_time(config) + profile.inference_time(config, batch)
+
+
+def cost_vs_inter_arrival(
+    profile: FunctionProfile,
+    config: HardwareConfig,
+    inter_arrivals: list[float],
+    batch: int = 1,
+) -> list[CostPoint]:
+    """Per-invocation adaptive cost across inter-arrival times."""
+    if not inter_arrivals:
+        raise ValueError("inter_arrivals must not be empty")
+    t = profile.init_time(config)
+    i = profile.inference_time(config, batch)
+    points = []
+    for it in inter_arrivals:
+        check_positive("inter_arrival", it)
+        points.append(
+            CostPoint(
+                inter_arrival=it,
+                cost=cost_per_invocation(t, i, it, config.unit_cost),
+                policy=policy_for(t, i, it),
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One configuration's (latency, cost) trade-off point."""
+
+    config: HardwareConfig
+    inference_time: float
+    cost: float
+    dominated: bool
+
+
+def config_frontier(
+    profile: FunctionProfile,
+    space: ConfigurationSpace,
+    inter_arrival: float,
+    batch: int = 1,
+) -> list[FrontierPoint]:
+    """All configurations as (inference time, adaptive cost) points.
+
+    A point is *dominated* when another configuration is at least as fast
+    and cheaper — the path search never needs dominated points, which is
+    why its cost-ordered scan terminates quickly.
+    """
+    check_positive("inter_arrival", inter_arrival)
+    raw = []
+    for config in space:
+        if not profile.supports(config.backend):
+            continue
+        t = profile.init_time(config)
+        i = profile.inference_time(config, batch)
+        raw.append((config, i, cost_per_invocation(t, i, inter_arrival, config.unit_cost)))
+    points = []
+    for config, i, c in raw:
+        dominated = any(
+            (oi <= i and oc < c) or (oi < i and oc <= c)
+            for _, oi, oc in raw
+        )
+        points.append(
+            FrontierPoint(config=config, inference_time=i, cost=c, dominated=dominated)
+        )
+    points.sort(key=lambda p: p.inference_time)
+    return points
+
+
+def sla_cost_curve(
+    app: AppDAG,
+    profiles: Mapping[str, FunctionProfile],
+    inter_arrival: float,
+    slas: list[float],
+    *,
+    space: ConfigurationSpace | None = None,
+) -> list[tuple[float, float, bool]]:
+    """(sla, planned cost, feasible) rows across SLA targets (Fig. 10a)."""
+    if not slas:
+        raise ValueError("slas must not be empty")
+    manager = WorkflowManager(space or ConfigurationSpace.default())
+    out = []
+    for sla in slas:
+        check_positive("sla", sla)
+        strategy = manager.optimize(app, profiles, inter_arrival, sla=sla)
+        out.append((sla, strategy.cost, strategy.feasible))
+    return out

@@ -1,0 +1,167 @@
+"""Container auto-scaling via adaptive batching (paper §V-D).
+
+Given the predicted invocation count ``G`` for the next window, the
+inter-arrival time ``IT`` and the per-stage inference budget ``I_s`` (from
+the Strategy Optimizer), the Auto-scaler solves Eq. (7)/(8):
+
+    min over (config, B)  of  ceil(G / B) * IT * U(config)
+    subject to             inference_time(config, B) <= I_s
+
+For each configuration the largest feasible batch size is found by bisection
+(inference time is monotone increasing in B under the Eq. 1/2 law); the
+configuration with the lowest resulting cost wins.  If no configuration can
+meet ``I_s`` even at batch 1, the fastest configuration is returned with
+``feasible=False`` — the caller then scales out at batch 1 (§V-B2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.hardware.configs import ConfigurationSpace, HardwareConfig
+from repro.profiler.profiles import FunctionProfile
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ScalingDecision:
+    """Resolved scaling plan for one function in one window."""
+
+    function: str
+    config: HardwareConfig
+    batch: int
+    instances: int
+    inference_time: float
+    cost: float
+    feasible: bool
+
+
+class AutoScaler:
+    """Solves the per-function batching/scale-out optimization."""
+
+    def __init__(
+        self,
+        space: ConfigurationSpace,
+        max_batch: int = 32,
+        *,
+        include_init_cost: bool = True,
+    ) -> None:
+        check_positive("max_batch", max_batch)
+        self.space = space
+        self.max_batch = int(max_batch)
+        # Burst responses launch *new* instances whose initialization is
+        # billed and delays availability; charging ``T`` alongside ``IT``
+        # steers scale-out toward fast-starting backends — the reason the
+        # CPU-to-GPU ratio climbs during bursts (Fig. 14b).
+        self.include_init_cost = bool(include_init_cost)
+
+    def max_feasible_batch(
+        self,
+        profile: FunctionProfile,
+        config: HardwareConfig,
+        budget: float,
+    ) -> int:
+        """Largest batch size meeting ``budget`` on ``config`` (0 if none).
+
+        Bisection over the integer range [1, max_batch]; the latency law is
+        monotone in B so the feasible set is a prefix.
+        """
+        check_positive("budget", budget)
+        if profile.inference_time(config, 1) > budget:
+            return 0
+        lo, hi = 1, self.max_batch
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if profile.inference_time(config, mid) <= budget:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo
+
+    def plan(
+        self,
+        function: str,
+        profile: FunctionProfile,
+        predicted_invocations: int,
+        inter_arrival: float,
+        budget: float,
+        *,
+        max_init_time: float | None = None,
+    ) -> ScalingDecision:
+        """Optimal (config, batch, instance count) for the next window.
+
+        ``max_init_time`` restricts candidates to configurations whose
+        (robust) initialization fits a reaction budget — burst capacity that
+        arrives after the burst is useless.  If no candidate qualifies the
+        restriction is dropped.
+        """
+        check_positive("predicted_invocations", predicted_invocations)
+        check_positive("inter_arrival", inter_arrival)
+        candidates = [c for c in self.space if profile.supports(c.backend)]
+        if max_init_time is not None:
+            quick = [
+                c
+                for c in candidates
+                if profile.init_time(c) <= max_init_time
+                and self.max_feasible_batch(profile, c, budget) > 0
+            ]
+            if quick:
+                candidates = quick
+        best: ScalingDecision | None = None
+        for config in candidates:
+            batch = self.max_feasible_batch(profile, config, budget)
+            if batch == 0:
+                continue
+            batch = min(batch, predicted_invocations)
+            instances = math.ceil(predicted_invocations / batch)
+            billed = inter_arrival + (
+                profile.init_time(config) if self.include_init_cost else 0.0
+            )
+            cost = instances * billed * config.unit_cost
+            decision = ScalingDecision(
+                function=function,
+                config=config,
+                batch=batch,
+                instances=instances,
+                inference_time=profile.inference_time(config, batch),
+                cost=cost,
+                feasible=True,
+            )
+            if (
+                best is None
+                or decision.cost < best.cost
+                or (decision.cost == best.cost and decision.instances < best.instances)
+            ):
+                best = decision
+        if best is not None:
+            return best
+        # No configuration meets the budget even at batch 1: scale out on the
+        # fastest configuration (§V-B2 "even higher-end hardware fails").
+        fastest = min(
+            (c for c in self.space if profile.supports(c.backend)),
+            key=lambda c: profile.inference_time(c, 1),
+        )
+        return ScalingDecision(
+            function=function,
+            config=fastest,
+            batch=1,
+            instances=predicted_invocations,
+            inference_time=profile.inference_time(fastest, 1),
+            cost=predicted_invocations * inter_arrival * fastest.unit_cost,
+            feasible=False,
+        )
+
+    def plan_all(
+        self,
+        profiles: Mapping[str, FunctionProfile],
+        budgets: Mapping[str, float],
+        predicted_invocations: int,
+        inter_arrival: float,
+    ) -> dict[str, ScalingDecision]:
+        """Scaling decisions for every function (threads in the paper)."""
+        return {
+            fn: self.plan(fn, profiles[fn], predicted_invocations, inter_arrival, budgets[fn])
+            for fn in profiles
+        }

@@ -1,0 +1,345 @@
+"""Top-K path search over the multi-way configuration tree (paper §V-C1).
+
+A *path* here is a chain of functions with sequential dependencies (the
+Workflow Manager hands the Strategy Optimizer one such chain at a time).
+Each tree node fixes the hardware configuration — and therefore, through the
+adaptive policy, the cold-start management — of every function; the search
+walks nodes in cost order until it finds the cheapest SLA-feasible
+combination.
+
+The default ``top_k = 1`` variant is the one the paper deploys: starting
+from the all-cheapest combination, it finalizes functions one at a time,
+giving each the cheapest configuration that still allows the *remaining*
+functions (running at their fastest) to meet the SLA.  Candidates are
+pre-sorted by cost, giving the paper's ``O(N * M * log M)`` complexity.
+
+Two reference searches are included for the Fig. 16 overhead comparison:
+:class:`ExhaustiveSearch` (exact, exponential) and :class:`DpSearch` (the
+classic constrained-shortest-path dynamic program over a discretized
+latency budget).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.dag.graph import AppDAG
+from repro.hardware.configs import ConfigurationSpace, HardwareConfig
+from repro.core.prewarming import cost_per_invocation, evaluate_assignment
+from repro.profiler.profiles import FunctionProfile
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One (configuration, inference time, adaptive cost) option."""
+
+    config: HardwareConfig
+    inference_time: float
+    cost: float
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of a search: assignment plus bookkeeping for Fig. 16."""
+
+    assignment: dict[str, HardwareConfig]
+    latency: float
+    cost: float
+    feasible: bool
+    nodes_explored: int
+
+
+def build_candidates(
+    functions: Sequence[str],
+    profiles: Mapping[str, FunctionProfile],
+    space: ConfigurationSpace,
+    inter_arrival: float,
+    batch: int = 1,
+) -> dict[str, list[Candidate]]:
+    """Per-function candidate lists sorted by adaptive cost (cheapest first)."""
+    check_positive("inter_arrival", inter_arrival)
+    out: dict[str, list[Candidate]] = {}
+    for fn in functions:
+        profile = profiles[fn]
+        cands = []
+        for cfg in space:
+            if not profile.supports(cfg.backend):
+                continue
+            t = profile.init_time(cfg)
+            i = profile.inference_time(cfg, batch)
+            cands.append(
+                Candidate(cfg, i, cost_per_invocation(t, i, inter_arrival, cfg.unit_cost))
+            )
+        if not cands:
+            raise ValueError(f"no feasible configurations for function {fn!r}")
+        cands.sort(key=lambda c: (c.cost, c.inference_time))
+        out[fn] = cands
+    return out
+
+
+class PathSearchOptimizer:
+    """The paper's top-K path search (top-1 by default, as deployed)."""
+
+    def __init__(self, space: ConfigurationSpace, top_k: int = 1) -> None:
+        check_positive("top_k", top_k)
+        self.space = space
+        self.top_k = int(top_k)
+
+    def optimize_path(
+        self,
+        functions: Sequence[str],
+        profiles: Mapping[str, FunctionProfile],
+        inter_arrival: float,
+        sla: float,
+        batch: int = 1,
+    ) -> SearchResult:
+        """Cheapest SLA-feasible assignment along a sequential chain."""
+        check_positive("sla", sla)
+        if not functions:
+            raise ValueError("path must contain at least one function")
+        cands = build_candidates(functions, profiles, self.space, inter_arrival, batch)
+        if self.top_k == 1:
+            return self._top1(list(functions), cands, sla)
+        return self._beam(list(functions), cands, sla)
+
+    # -- top-1 (the deployed variant) --------------------------------------
+    def _top1(
+        self,
+        functions: list[str],
+        cands: dict[str, list[Candidate]],
+        sla: float,
+    ) -> SearchResult:
+        nodes = 1
+        # Root T^0: the all-cheapest combination (Eq. 6).
+        cheapest = {fn: cands[fn][0] for fn in functions}
+        latency = sum(c.inference_time for c in cheapest.values())
+        if latency <= sla:
+            return self._result(functions, cheapest, sla, nodes)
+
+        fastest = {fn: min(cands[fn], key=lambda c: c.inference_time) for fn in functions}
+        min_latency = {fn: fastest[fn].inference_time for fn in functions}
+        if sum(min_latency.values()) > sla:
+            # No combination can meet the SLA: report the fastest one.
+            return self._result(functions, fastest, sla, nodes + 1)
+
+        chosen: dict[str, Candidate] = {}
+        prefix_latency = 0.0
+        remaining_min = sum(min_latency.values())
+        for fn in functions:
+            remaining_min -= min_latency[fn]
+            budget = sla - prefix_latency - remaining_min
+            pick = None
+            for cand in cands[fn]:  # cost order: first feasible is cheapest
+                nodes += 1
+                if cand.inference_time <= budget:
+                    pick = cand
+                    break
+            assert pick is not None, "fastest config always fits the budget"
+            chosen[fn] = pick
+            prefix_latency += pick.inference_time
+        return self._result(functions, chosen, sla, nodes)
+
+    # -- top-K beam over tree layers ----------------------------------------
+    def _beam(
+        self,
+        functions: list[str],
+        cands: dict[str, list[Candidate]],
+        sla: float,
+    ) -> SearchResult:
+        nodes = 0
+        min_latency = {
+            fn: min(c.inference_time for c in cands[fn]) for fn in functions
+        }
+        suffix_min = [0.0] * (len(functions) + 1)
+        for i in range(len(functions) - 1, -1, -1):
+            suffix_min[i] = suffix_min[i + 1] + min_latency[functions[i]]
+        if suffix_min[0] > sla:
+            fastest = {
+                fn: min(cands[fn], key=lambda c: c.inference_time) for fn in functions
+            }
+            return self._result(functions, fastest, sla, 1)
+
+        # Beam states: (cost so far, latency so far, picks)
+        beam: list[tuple[float, float, dict[str, Candidate]]] = [(0.0, 0.0, {})]
+        for i, fn in enumerate(functions):
+            expansions: list[tuple[float, float, dict[str, Candidate]]] = []
+            for cost, lat, picks in beam:
+                for cand in cands[fn]:
+                    nodes += 1
+                    if lat + cand.inference_time + suffix_min[i + 1] > sla:
+                        continue
+                    expansions.append(
+                        (cost + cand.cost, lat + cand.inference_time, {**picks, fn: cand})
+                    )
+            expansions.sort(key=lambda s: s[0])
+            beam = expansions[: self.top_k]
+            assert beam, "suffix bound guarantees at least one feasible expansion"
+        best = beam[0]
+        return self._result(functions, best[2], sla, nodes)
+
+    @staticmethod
+    def _result(
+        functions: list[str],
+        picks: Mapping[str, Candidate],
+        sla: float,
+        nodes: int,
+    ) -> SearchResult:
+        latency = sum(picks[fn].inference_time for fn in functions)
+        return SearchResult(
+            assignment={fn: picks[fn].config for fn in functions},
+            latency=latency,
+            cost=sum(picks[fn].cost for fn in functions),
+            feasible=latency <= sla + 1e-12,
+            nodes_explored=nodes,
+        )
+
+
+class ExhaustiveSearch:
+    """Exact minimum-cost search by full enumeration (the OPT reference).
+
+    Exponential in the function count — usable for the small evaluation
+    DAGs, and as ground truth in tests and the Fig. 16 overhead comparison.
+    """
+
+    def __init__(self, space: ConfigurationSpace) -> None:
+        self.space = space
+
+    def optimize_path(
+        self,
+        functions: Sequence[str],
+        profiles: Mapping[str, FunctionProfile],
+        inter_arrival: float,
+        sla: float,
+        batch: int = 1,
+    ) -> SearchResult:
+        """Exact cheapest feasible assignment along a chain."""
+        cands = build_candidates(functions, profiles, self.space, inter_arrival, batch)
+        best: tuple[float, float, dict[str, Candidate]] | None = None
+        fallback: tuple[float, dict[str, Candidate]] | None = None
+        nodes = 0
+        for combo in itertools.product(*(cands[fn] for fn in functions)):
+            nodes += 1
+            picks = dict(zip(functions, combo))
+            latency = sum(c.inference_time for c in combo)
+            cost = sum(c.cost for c in combo)
+            if latency <= sla:
+                if best is None or cost < best[0]:
+                    best = (cost, latency, picks)
+            if fallback is None or latency < fallback[0]:
+                fallback = (latency, picks)
+        if best is not None:
+            cost, latency, picks = best
+            return SearchResult(
+                assignment={fn: picks[fn].config for fn in functions},
+                latency=latency,
+                cost=cost,
+                feasible=True,
+                nodes_explored=nodes,
+            )
+        assert fallback is not None
+        latency, picks = fallback
+        return SearchResult(
+            assignment={fn: picks[fn].config for fn in functions},
+            latency=latency,
+            cost=sum(picks[fn].cost for fn in functions),
+            feasible=False,
+            nodes_explored=nodes,
+        )
+
+    def optimize_app(
+        self,
+        app: AppDAG,
+        profiles: Mapping[str, FunctionProfile],
+        inter_arrival: float,
+        batch: int = 1,
+    ) -> SearchResult:
+        """Exact cheapest feasible assignment over a whole DAG."""
+        functions = list(app.function_names)
+        nodes = 0
+        best = None
+        fallback = None
+        config_lists = []
+        for fn in functions:
+            profile = profiles[fn]
+            cfgs = [c for c in self.space if profile.supports(c.backend)]
+            config_lists.append(cfgs)
+        for combo in itertools.product(*config_lists):
+            nodes += 1
+            assignment = dict(zip(functions, combo))
+            ev = evaluate_assignment(
+                app, assignment, profiles, inter_arrival, batch=batch
+            )
+            if ev.feasible and (best is None or ev.cost < best[1].cost):
+                best = (assignment, ev)
+            if fallback is None or ev.latency < fallback[1].latency:
+                fallback = (assignment, ev)
+        pick, ev = best if best is not None else fallback  # type: ignore[misc]
+        return SearchResult(
+            assignment=pick,
+            latency=ev.latency,
+            cost=ev.cost,
+            feasible=ev.feasible,
+            nodes_explored=nodes,
+        )
+
+
+class DpSearch:
+    """Constrained-shortest-path dynamic program over discretized latency.
+
+    The textbook approach to the NP-hard CSP formulation (§V-A): quantize
+    the latency budget into ``n_bins`` levels and run
+    ``dp[k][lat] = min cost``.  Exact up to discretization; slower than the
+    paper's search by a large constant — the Fig. 16 comparison point.
+    """
+
+    def __init__(self, space: ConfigurationSpace, n_bins: int = 200) -> None:
+        check_positive("n_bins", n_bins)
+        self.space = space
+        self.n_bins = int(n_bins)
+
+    def optimize_path(
+        self,
+        functions: Sequence[str],
+        profiles: Mapping[str, FunctionProfile],
+        inter_arrival: float,
+        sla: float,
+        batch: int = 1,
+    ) -> SearchResult:
+        """DP solution of the chain-constrained cheapest assignment."""
+        cands = build_candidates(functions, profiles, self.space, inter_arrival, batch)
+        step = sla / self.n_bins
+        INF = float("inf")
+        # dp maps latency bin -> (cost, picks)
+        dp: list[tuple[float, dict[str, Candidate]] | None] = [None] * (self.n_bins + 1)
+        dp[0] = (0.0, {})
+        nodes = 0
+        for fn in functions:
+            ndp: list[tuple[float, dict[str, Candidate]] | None] = [None] * (
+                self.n_bins + 1
+            )
+            for lat_bin, state in enumerate(dp):
+                if state is None:
+                    continue
+                cost, picks = state
+                for cand in cands[fn]:
+                    nodes += 1
+                    nb = lat_bin + int(-(-cand.inference_time // step))  # ceil
+                    if nb > self.n_bins:
+                        continue
+                    if ndp[nb] is None or cost + cand.cost < ndp[nb][0]:
+                        ndp[nb] = (cost + cand.cost, {**picks, fn: cand})
+            dp = ndp
+        best = None
+        for state in dp:
+            if state is not None and (best is None or state[0] < best[0]):
+                best = state
+        if best is None:
+            fastest = {
+                fn: min(cands[fn], key=lambda c: c.inference_time) for fn in functions
+            }
+            return PathSearchOptimizer._result(list(functions), fastest, sla, nodes)
+        cost, picks = best
+        return PathSearchOptimizer._result(list(functions), picks, sla, nodes)

@@ -1,0 +1,157 @@
+"""Adaptive cold-start management (paper §V-B).
+
+Given a function's initialization time ``T``, inference time ``I`` (both
+functions of its hardware configuration) and the predicted inter-arrival
+time ``IT`` of application invocations, SMIless picks between:
+
+- **adaptive pre-warming** (Case I, ``T + I < IT``): unload the instance
+  after each inference and re-warm it ``T`` seconds before it is next
+  needed, sized so initialization fully overlaps upstream execution.  The
+  pre-warming *window* (idle, unbilled gap) is ``IT - T - I``; each
+  invocation is billed ``(T + I) * U`` (Eq. 5);
+- **keep-alive** (Case II, ``T + I >= IT``): keep the instance warm across
+  invocations, billing ``IT * U`` per invocation — provably cheaper than
+  terminate-and-recreate, which would bill ``(T + I) * U > IT * U``.
+
+Because initialization is hidden behind upstream inference (or, for source
+functions, behind the predicted arrival lead time), the application's E2E
+latency is the critical-path sum of inference times alone.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.dag.graph import AppDAG
+from repro.hardware.configs import HardwareConfig
+from repro.profiler.profiles import FunctionProfile
+from repro.utils.validation import check_positive
+
+
+class ColdStartPolicy(enum.Enum):
+    """Cold-start management choices available to a function (the set S)."""
+
+    PREWARM = "prewarm"
+    KEEP_ALIVE = "keep-alive"
+    ON_DEMAND = "on-demand"  # no management — used only by baselines
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+def policy_for(init_time: float, inference_time: float, inter_arrival: float) -> ColdStartPolicy:
+    """The adaptive choice of §V-B1: pre-warm when the cycle fits in IT."""
+    check_positive("init_time", init_time, strict=False)
+    check_positive("inference_time", inference_time)
+    check_positive("inter_arrival", inter_arrival)
+    if init_time + inference_time < inter_arrival:
+        return ColdStartPolicy.PREWARM
+    return ColdStartPolicy.KEEP_ALIVE
+
+
+def prewarm_window(init_time: float, inference_time: float, inter_arrival: float) -> float:
+    """Idle (unbilled) window between unload and the next warm-up.
+
+    ``IT - T - I`` under pre-warming, zero under keep-alive (§V-B1).
+    """
+    if policy_for(init_time, inference_time, inter_arrival) is ColdStartPolicy.PREWARM:
+        return inter_arrival - init_time - inference_time
+    return 0.0
+
+
+def cost_per_invocation(
+    init_time: float,
+    inference_time: float,
+    inter_arrival: float,
+    unit_cost: float,
+) -> float:
+    """Per-invocation execution cost ``C_k`` under the adaptive policy (Eq. 5)."""
+    check_positive("unit_cost", unit_cost)
+    if policy_for(init_time, inference_time, inter_arrival) is ColdStartPolicy.PREWARM:
+        return (init_time + inference_time) * unit_cost
+    return inter_arrival * unit_cost
+
+
+@dataclass(frozen=True)
+class FunctionPlan:
+    """Resolved execution plan for one function under one configuration."""
+
+    function: str
+    config: HardwareConfig
+    policy: ColdStartPolicy
+    init_time: float
+    inference_time: float
+    prewarm_window: float
+    cost: float
+
+    @classmethod
+    def build(
+        cls,
+        function: str,
+        config: HardwareConfig,
+        profile: FunctionProfile,
+        inter_arrival: float,
+        batch: int = 1,
+    ) -> "FunctionPlan":
+        """Evaluate the adaptive policy for ``function`` on ``config``."""
+        t = profile.init_time(config)
+        i = profile.inference_time(config, batch)
+        return cls(
+            function=function,
+            config=config,
+            policy=policy_for(t, i, inter_arrival),
+            init_time=t,
+            inference_time=i,
+            prewarm_window=prewarm_window(t, i, inter_arrival),
+            cost=cost_per_invocation(t, i, inter_arrival, config.unit_cost),
+        )
+
+
+@dataclass(frozen=True)
+class PlanEvaluation:
+    """Whole-application evaluation of a configuration assignment."""
+
+    plans: Mapping[str, FunctionPlan]
+    latency: float
+    cost: float
+    sla: float
+
+    @property
+    def feasible(self) -> bool:
+        """Whether the E2E latency meets the SLA."""
+        return self.latency <= self.sla + 1e-12
+
+
+def evaluate_assignment(
+    app: AppDAG,
+    assignment: Mapping[str, HardwareConfig],
+    profiles: Mapping[str, FunctionProfile],
+    inter_arrival: float,
+    *,
+    sla: float | None = None,
+    batch: int = 1,
+) -> PlanEvaluation:
+    """Evaluate E2E latency and total per-invocation cost of an assignment.
+
+    Latency is the critical-path sum of inference times (initialization is
+    overlapped by adaptive pre-warming); cost is the sum of per-function
+    adaptive costs — the objective of Eq. (4).
+    """
+    missing = [f for f in app.function_names if f not in assignment]
+    if missing:
+        raise ValueError(f"assignment missing functions: {missing}")
+    plans = {
+        name: FunctionPlan.build(
+            name, assignment[name], profiles[name], inter_arrival, batch
+        )
+        for name in app.function_names
+    }
+    latency = app.critical_path_latency(
+        {name: plan.inference_time for name, plan in plans.items()}
+    )
+    cost = sum(plan.cost for plan in plans.values())
+    return PlanEvaluation(
+        plans=plans, latency=latency, cost=cost, sla=app.sla if sla is None else sla
+    )

@@ -1,0 +1,227 @@
+"""Workflow Manager: DAG decomposition and strategy combining (paper §V-C2).
+
+Complex applications contain parallel branches; the Workflow Manager
+
+1. decomposes the DAG into its source→sink *simple paths* (chains of
+   sequential dependencies),
+2. hands each chain to the Strategy Optimizer (in parallel on the real
+   system; sequentially here — the algorithm is identical),
+3. **combines** the per-path results: for functions shared by several paths
+   (forks/joins of the minimal parallel substructures), it keeps the
+   configuration with the shortest inference time among the per-path
+   answers — so every path's latency can only decrease and stays within the
+   SLA — and then
+4. runs a greedy *cost-reduction pass*: functions are repeatedly downgraded
+   to cheaper configurations whenever the whole-DAG critical-path latency
+   still meets the SLA, recovering the cost the conservative merge left on
+   the table.
+
+Step 4 realizes the paper's "updates the configurations of other functions
+along these parallel branches" refinement in a DAG-global way; see DESIGN.md
+for the mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.path_search import PathSearchOptimizer, build_candidates
+from repro.core.prewarming import FunctionPlan, PlanEvaluation, evaluate_assignment
+from repro.dag.graph import AppDAG
+from repro.hardware.configs import ConfigurationSpace, HardwareConfig
+from repro.profiler.profiles import FunctionProfile
+
+
+@dataclass(frozen=True)
+class ExecutionStrategy:
+    """The Optimizer Engine's output: per-function plans plus totals."""
+
+    app: str
+    assignment: dict[str, HardwareConfig]
+    plans: Mapping[str, FunctionPlan]
+    latency: float
+    cost: float
+    sla: float
+    inter_arrival: float
+    feasible: bool
+
+    def plan(self, function: str) -> FunctionPlan:
+        """Per-function plan lookup."""
+        return self.plans[function]
+
+
+class WorkflowManager:
+    """Optimizes a whole application by path decomposition and combining."""
+
+    def __init__(
+        self,
+        space: ConfigurationSpace,
+        optimizer: PathSearchOptimizer | None = None,
+    ) -> None:
+        self.space = space
+        self.optimizer = optimizer or PathSearchOptimizer(space)
+
+    def optimize(
+        self,
+        app: AppDAG,
+        profiles: Mapping[str, FunctionProfile],
+        inter_arrival: float,
+        *,
+        sla: float | None = None,
+        batch: int = 1,
+    ) -> ExecutionStrategy:
+        """Produce the execution strategy for ``app`` at the predicted IT."""
+        target_sla = app.sla if sla is None else sla
+        paths = app.simple_paths()
+        per_path = [
+            self.optimizer.optimize_path(
+                path, profiles, inter_arrival, target_sla, batch
+            )
+            for path in paths
+        ]
+
+        # Combine: shared functions take the fastest per-path choice so no
+        # path's latency can increase past its own optimized value.
+        assignment: dict[str, HardwareConfig] = {}
+        for path, result in zip(paths, per_path):
+            for fn in path:
+                new_cfg = result.assignment[fn]
+                if fn not in assignment:
+                    assignment[fn] = new_cfg
+                else:
+                    cur_i = profiles[fn].inference_time(assignment[fn], batch)
+                    new_i = profiles[fn].inference_time(new_cfg, batch)
+                    if new_i < cur_i:
+                        assignment[fn] = new_cfg
+
+        assignment = self._reduce_cost(
+            app, assignment, profiles, inter_arrival, target_sla, batch
+        )
+        assignment = self._rebalance(
+            app, assignment, profiles, inter_arrival, target_sla, batch
+        )
+        evaluation = evaluate_assignment(
+            app, assignment, profiles, inter_arrival, sla=target_sla, batch=batch
+        )
+        return self._strategy(app, assignment, evaluation, inter_arrival)
+
+    def _reduce_cost(
+        self,
+        app: AppDAG,
+        assignment: dict[str, HardwareConfig],
+        profiles: Mapping[str, FunctionProfile],
+        inter_arrival: float,
+        sla: float,
+        batch: int,
+    ) -> dict[str, HardwareConfig]:
+        """Greedy downgrade pass: cheapest feasible config per function.
+
+        Iterates over functions (most expensive first), re-checking the
+        whole-DAG latency for each cheaper candidate; repeats until no
+        single-function downgrade helps.
+        """
+        cands = build_candidates(
+            app.function_names, profiles, self.space, inter_arrival, batch
+        )
+        current = dict(assignment)
+        improved = True
+        while improved:
+            improved = False
+            ev = evaluate_assignment(
+                app, current, profiles, inter_arrival, sla=sla, batch=batch
+            )
+            if not ev.feasible:
+                break  # nothing to reclaim; keep the fastest combination
+            order = sorted(
+                app.function_names, key=lambda f: -ev.plans[f].cost
+            )
+            for fn in order:
+                cur_cost = ev.plans[fn].cost
+                for cand in cands[fn]:  # cost ascending
+                    if cand.cost >= cur_cost or cand.config == current[fn]:
+                        continue
+                    trial = {**current, fn: cand.config}
+                    trial_ev = evaluate_assignment(
+                        app, trial, profiles, inter_arrival, sla=sla, batch=batch
+                    )
+                    if trial_ev.feasible:
+                        current = trial
+                        improved = True
+                        break
+                if improved:
+                    break
+        return current
+
+    def _rebalance(
+        self,
+        app: AppDAG,
+        assignment: dict[str, HardwareConfig],
+        profiles: Mapping[str, FunctionProfile],
+        inter_arrival: float,
+        sla: float,
+        batch: int,
+        max_rounds: int = 8,
+    ) -> dict[str, HardwareConfig]:
+        """Pairwise upgrade/downgrade moves to escape greedy imbalance.
+
+        The per-path greedy finalizes functions in path order, which can
+        leave an early function on slow/cheap hardware while a later one
+        pays for very fast hardware.  Each round tries to *upgrade* one
+        function (buying latency slack) and re-runs the downgrade pass;
+        the move is kept only if the total cost drops.  This realizes the
+        Workflow Manager's "combine ... to minimize the overall cost".
+        """
+        cands = build_candidates(
+            app.function_names, profiles, self.space, inter_arrival, batch
+        )
+        current = assignment
+
+        def total_cost(a: dict[str, HardwareConfig]) -> float:
+            return evaluate_assignment(
+                app, a, profiles, inter_arrival, sla=sla, batch=batch
+            ).cost
+
+        cur_cost = total_cost(current)
+        for _ in range(max_rounds):
+            best_move: tuple[float, dict[str, HardwareConfig]] | None = None
+            for fn in app.function_names:
+                cur_i = profiles[fn].inference_time(current[fn], batch)
+                for cand in cands[fn]:
+                    if cand.inference_time >= cur_i:
+                        continue  # only upgrades create slack
+                    trial = self._reduce_cost(
+                        app,
+                        {**current, fn: cand.config},
+                        profiles,
+                        inter_arrival,
+                        sla,
+                        batch,
+                    )
+                    c = total_cost(trial)
+                    if c < cur_cost - 1e-12 and (
+                        best_move is None or c < best_move[0]
+                    ):
+                        best_move = (c, trial)
+            if best_move is None:
+                break
+            cur_cost, current = best_move
+        return current
+
+    @staticmethod
+    def _strategy(
+        app: AppDAG,
+        assignment: dict[str, HardwareConfig],
+        evaluation: PlanEvaluation,
+        inter_arrival: float,
+    ) -> ExecutionStrategy:
+        return ExecutionStrategy(
+            app=app.name,
+            assignment=assignment,
+            plans=evaluation.plans,
+            latency=evaluation.latency,
+            cost=evaluation.cost,
+            sla=evaluation.sla,
+            inter_arrival=inter_arrival,
+            feasible=evaluation.feasible,
+        )

@@ -1,0 +1,41 @@
+"""Application DAGs: function specs, graph structure, Table I model registry.
+
+An ML serving application is a directed acyclic graph of inference
+functions (paper §II-A).  This package defines the graph abstraction the
+Workflow Manager operates on, the registry of the twelve Table I inference
+models with their ground-truth performance profiles, and builders for the
+three evaluation applications of Fig. 7.
+"""
+
+from repro.dag.apps import (
+    amber_alert,
+    evaluation_apps,
+    image_query,
+    linear_pipeline,
+    random_dag,
+    voice_assistant,
+)
+from repro.dag.graph import AppDAG, FunctionSpec
+from repro.dag.models import (
+    MODEL_REGISTRY,
+    ModelInfo,
+    get_model,
+    get_profile,
+    model_names,
+)
+
+__all__ = [
+    "FunctionSpec",
+    "AppDAG",
+    "ModelInfo",
+    "MODEL_REGISTRY",
+    "get_model",
+    "get_profile",
+    "model_names",
+    "amber_alert",
+    "image_query",
+    "voice_assistant",
+    "evaluation_apps",
+    "linear_pipeline",
+    "random_dag",
+]

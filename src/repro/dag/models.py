@@ -1,0 +1,173 @@
+"""Table I model registry with ground-truth performance parameters.
+
+The paper evaluates twelve inference models (Table I).  Because the real
+checkpoints cannot run here, each model carries an analytic ground-truth
+profile following the paper's latency law (see ``repro.hardware.perfmodel``).
+Parameters are calibrated to the paper's reported ratios:
+
+- warm-start GPU speedup ≈ 10× over a 16-core CPU for the translation model
+  (TRS), smaller for lighter models (Fig. 2 / §I);
+- GPU initialization (CUDA context + weight transfer) is 2.5–3× slower than
+  CPU initialization, so cold-start latency on GPU exceeds CPU (Fig. 2);
+- CPU inference is noisier than GPU inference (Fig. 11b).
+
+The numbers are in seconds for batch size 1; the latency law extrapolates to
+larger batches and other core counts / GPU fractions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.perfmodel import InitTimeParams, LatencyParams, PerfProfile
+
+#: Batching degradation coefficients (λ in Eq. 1/2).  CPU batches suffer more
+#: cache pressure than GPU batches.
+_CPU_LAM = 1.08
+_GPU_LAM = 1.0
+
+#: Network transmission constant γ (seconds) added to every stage.
+_NET = 0.02
+
+
+@dataclass(frozen=True)
+class ModelInfo:
+    """Catalog entry mirroring one row of Table I."""
+
+    name: str
+    full_name: str
+    architecture: str
+    dataset: str
+    field: str
+    profile: PerfProfile
+
+
+def _profile(
+    name: str,
+    *,
+    cpu_alpha: float,
+    cpu_beta: float,
+    gpu_alpha: float,
+    gpu_beta: float,
+    init_cpu: float,
+    init_gpu: float,
+    mem_knee_gb: float,
+    max_batch: int = 32,
+) -> PerfProfile:
+    """Assemble a ground-truth profile with the shared λ/γ constants."""
+    return PerfProfile(
+        name=name,
+        cpu=LatencyParams(_CPU_LAM, cpu_alpha, cpu_beta, _NET),
+        gpu=LatencyParams(_GPU_LAM, gpu_alpha, gpu_beta, _NET),
+        init_cpu=InitTimeParams(init_cpu, 0.08 * init_cpu),
+        init_gpu=InitTimeParams(init_gpu, 0.12 * init_gpu),
+        mem_knee_gb=mem_knee_gb,
+        max_batch=max_batch,
+    )
+
+
+def _entry(
+    name: str,
+    full_name: str,
+    architecture: str,
+    dataset: str,
+    field: str,
+    **profile_kwargs: float,
+) -> ModelInfo:
+    return ModelInfo(
+        name=name,
+        full_name=full_name,
+        architecture=architecture,
+        dataset=dataset,
+        field=field,
+        profile=_profile(name, **profile_kwargs),
+    )
+
+
+#: The twelve Table I models.  ``cpu_alpha`` is the parallel compute volume
+#: in core-seconds; ``gpu_alpha`` in GPU-fraction-seconds.
+MODEL_REGISTRY: dict[str, ModelInfo] = {
+    m.name: m
+    for m in (
+        _entry(
+            "IR", "Image Recognition", "ResNet50", "ImageNet", "Image Classification",
+            cpu_alpha=1.04, cpu_beta=0.039, gpu_alpha=0.013, gpu_beta=0.0065,
+            init_cpu=1.8, init_gpu=5.0, mem_knee_gb=1.5,
+        ),
+        _entry(
+            "FR", "Face Recognition", "FaceNet", "ImageNet", "Image Classification",
+            cpu_alpha=0.91, cpu_beta=0.039, gpu_alpha=0.0117, gpu_beta=0.0065,
+            init_cpu=1.7, init_gpu=4.8, mem_knee_gb=1.5,
+        ),
+        _entry(
+            "HAP", "Human Activity Pose", "ResNet50", "ImageNet", "Image Classification",
+            cpu_alpha=2.08, cpu_beta=0.052, gpu_alpha=0.0221, gpu_beta=0.0078,
+            init_cpu=1.9, init_gpu=5.2, mem_knee_gb=1.8,
+        ),
+        _entry(
+            "DB", "DistilBert", "BERT", "SQuAD", "Language Modeling",
+            cpu_alpha=0.78, cpu_beta=0.0325, gpu_alpha=0.0104, gpu_beta=0.0052,
+            init_cpu=1.6, init_gpu=4.5, mem_knee_gb=1.2,
+        ),
+        _entry(
+            "NER", "Name Entity Recognition", "Flair", "SQuAD", "Language Modeling",
+            cpu_alpha=1.3, cpu_beta=0.0455, gpu_alpha=0.0182, gpu_beta=0.0065,
+            init_cpu=1.8, init_gpu=4.9, mem_knee_gb=1.6,
+        ),
+        _entry(
+            "TM", "Topic Modeling", "TweetEval", "SQuAD", "Language Modeling",
+            cpu_alpha=0.65, cpu_beta=0.0325, gpu_alpha=0.0097, gpu_beta=0.0052,
+            init_cpu=1.5, init_gpu=4.4, mem_knee_gb=1.2,
+        ),
+        _entry(
+            "TRS", "Translation", "T5", "SQuAD", "Language Modeling",
+            cpu_alpha=6.24, cpu_beta=0.065, gpu_alpha=0.0325, gpu_beta=0.0104,
+            init_cpu=2.2, init_gpu=6.0, mem_knee_gb=2.5,
+        ),
+        _entry(
+            "TG", "Text Generation", "GPT2", "SQuAD", "Text Generation",
+            cpu_alpha=5.2, cpu_beta=0.065, gpu_alpha=0.0299, gpu_beta=0.0097,
+            init_cpu=2.4, init_gpu=6.5, mem_knee_gb=2.8,
+        ),
+        _entry(
+            "SR", "Speech Recognition", "Wav2Vec", "SQuAD", "Audio Processing",
+            cpu_alpha=2.34, cpu_beta=0.0585, gpu_alpha=0.0234, gpu_beta=0.0078,
+            init_cpu=2.0, init_gpu=5.5, mem_knee_gb=2.0,
+        ),
+        _entry(
+            "TTS", "Text To Speech", "FastSpeech", "SQuAD", "Audio Processing",
+            cpu_alpha=1.82, cpu_beta=0.052, gpu_alpha=0.0208, gpu_beta=0.0078,
+            init_cpu=1.9, init_gpu=5.3, mem_knee_gb=1.8,
+        ),
+        _entry(
+            "OD", "Object Detection", "YOLOv5", "COCO", "Object Detection",
+            cpu_alpha=1.56, cpu_beta=0.0455, gpu_alpha=0.0175, gpu_beta=0.0072,
+            init_cpu=1.8, init_gpu=5.1, mem_knee_gb=1.6,
+        ),
+        _entry(
+            "QA", "Question Answering", "Roberta", "SQuAD", "Question Answering",
+            cpu_alpha=1.17, cpu_beta=0.039, gpu_alpha=0.0143, gpu_beta=0.0065,
+            init_cpu=1.7, init_gpu=4.7, mem_knee_gb=1.4,
+        ),
+    )
+}
+
+
+def model_names() -> tuple[str, ...]:
+    """Short names of all registered models."""
+    return tuple(MODEL_REGISTRY)
+
+
+def get_model(name: str) -> ModelInfo:
+    """Look up a Table I model by its short name (e.g. ``"TRS"``)."""
+    try:
+        return MODEL_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; known models: {', '.join(MODEL_REGISTRY)}"
+        ) from None
+
+
+def get_profile(name: str) -> PerfProfile:
+    """Ground-truth performance profile of a registered model."""
+    return get_model(name).profile

@@ -1,0 +1,23 @@
+"""Reusable experiment runners (the programmatic layer behind the CLI).
+
+These wrap the common evaluation shapes — policy comparisons, SLA sweeps,
+burst studies, multi-application co-runs — into functions that return plain
+result rows, so notebooks, the CLI and ad-hoc scripts share one
+implementation with the benchmark suite's semantics.
+"""
+
+from repro.experiments.runners import (
+    ComparisonRow,
+    build_environment,
+    run_comparison,
+    run_multi_app,
+    run_sla_sweep,
+)
+
+__all__ = [
+    "ComparisonRow",
+    "build_environment",
+    "run_comparison",
+    "run_sla_sweep",
+    "run_multi_app",
+]

@@ -1,0 +1,185 @@
+"""Experiment runners: environments, comparisons, sweeps, co-runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dag import amber_alert, image_query, voice_assistant
+from repro.dag.graph import AppDAG
+from repro.policies import (
+    AquatopePolicy,
+    GrandSLAmPolicy,
+    IceBreakerPolicy,
+    OptimalPolicy,
+    OrionPolicy,
+    SMIlessHomoPolicy,
+    SMIlessNoDagPolicy,
+    SMIlessPolicy,
+)
+from repro.profiler import OfflineProfiler, oracle_profile
+from repro.simulator import Deployment, MultiAppSimulator, RunMetrics, ServerlessSimulator
+from repro.workload import AzureLikeWorkload, Trace
+
+APP_BUILDERS = {
+    "amber-alert": amber_alert,
+    "image-query": image_query,
+    "voice-assistant": voice_assistant,
+}
+
+POLICY_NAMES = (
+    "smiless",
+    "orion",
+    "icebreaker",
+    "grandslam",
+    "aquatope",
+    "opt",
+    "smiless-no-dag",
+    "smiless-homo",
+)
+
+
+@dataclass
+class Environment:
+    """A profiled application plus its training history and eval trace."""
+
+    app: AppDAG
+    profiles: dict
+    oracle: dict
+    train_counts: np.ndarray
+    trace: Trace
+
+    def make_policy(self, name: str):
+        """Instantiate a policy by registry name."""
+        if name == "smiless":
+            return SMIlessPolicy(self.profiles, train_counts=self.train_counts)
+        if name == "smiless-no-dag":
+            return SMIlessNoDagPolicy(self.profiles, train_counts=self.train_counts)
+        if name == "smiless-homo":
+            return SMIlessHomoPolicy(self.profiles, train_counts=self.train_counts)
+        if name == "orion":
+            return OrionPolicy(self.profiles)
+        if name == "icebreaker":
+            return IceBreakerPolicy(self.profiles, train_counts=self.train_counts)
+        if name == "grandslam":
+            return GrandSLAmPolicy(self.profiles)
+        if name == "aquatope":
+            return AquatopePolicy(self.profiles)
+        if name == "opt":
+            return OptimalPolicy(self.oracle, self.trace)
+        raise KeyError(
+            f"unknown policy {name!r}; available: {', '.join(POLICY_NAMES)}"
+        )
+
+
+def build_environment(
+    app_name: str,
+    *,
+    preset: str = "steady",
+    sla: float = 2.0,
+    duration: float = 600.0,
+    train_duration: float = 3600.0,
+    seed: int = 0,
+) -> Environment:
+    """Profile an evaluation app and synthesize its workload."""
+    try:
+        app = APP_BUILDERS[app_name](sla=sla)
+    except KeyError:
+        raise KeyError(
+            f"unknown application {app_name!r}; "
+            f"available: {', '.join(APP_BUILDERS)}"
+        ) from None
+    profiles = OfflineProfiler().profile_app(app, rng=seed)
+    oracle = {s.name: oracle_profile(s.profile, n_sigma=1.0) for s in app.specs}
+    train = AzureLikeWorkload.preset(preset, seed=seed).generate(train_duration)
+    trace = AzureLikeWorkload.preset(preset, seed=seed + 1000).generate(duration)
+    return Environment(
+        app=app,
+        profiles=profiles,
+        oracle=oracle,
+        train_counts=train.counts_per_window(1.0),
+        trace=trace,
+    )
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One policy's outcome in a comparison run."""
+
+    policy: str
+    total_cost: float
+    violation_ratio: float
+    mean_latency: float
+    p99_latency: float
+    reinit_fraction: float
+
+    @classmethod
+    def from_metrics(cls, policy: str, m: RunMetrics) -> "ComparisonRow":
+        s = m.summary()
+        return cls(
+            policy=policy,
+            total_cost=s["total_cost"],
+            violation_ratio=s["violation_ratio"],
+            mean_latency=s["mean_latency"],
+            p99_latency=s["p99_latency"],
+            reinit_fraction=s["reinit_fraction"],
+        )
+
+
+def run_comparison(
+    env: Environment,
+    policies: tuple[str, ...] = ("smiless", "orion", "icebreaker", "grandslam"),
+    *,
+    seed: int = 3,
+) -> list[ComparisonRow]:
+    """Serve the environment's trace under each policy."""
+    rows = []
+    for name in policies:
+        metrics = ServerlessSimulator(
+            env.app, env.trace, env.make_policy(name), seed=seed
+        ).run()
+        rows.append(ComparisonRow.from_metrics(name, metrics))
+    return rows
+
+
+def run_sla_sweep(
+    env: Environment,
+    slas: tuple[float, ...],
+    policy: str = "smiless",
+    *,
+    seed: int = 3,
+) -> list[tuple[float, ComparisonRow]]:
+    """Re-serve the trace at each SLA target under one policy."""
+    out = []
+    for sla in slas:
+        app = env.app.with_sla(sla)
+        tuned = Environment(
+            app=app,
+            profiles=env.profiles,
+            oracle=env.oracle,
+            train_counts=env.train_counts,
+            trace=env.trace,
+        )
+        metrics = ServerlessSimulator(
+            app, env.trace, tuned.make_policy(policy), seed=seed
+        ).run()
+        out.append((sla, ComparisonRow.from_metrics(policy, metrics)))
+    return out
+
+
+def run_multi_app(
+    envs: list[Environment],
+    policy: str = "smiless",
+    *,
+    seed: int = 3,
+) -> dict[str, ComparisonRow]:
+    """Co-run several environments on one shared cluster (§VII-A)."""
+    deployments = [
+        Deployment(env.app, env.trace, env.make_policy(policy)) for env in envs
+    ]
+    results = MultiAppSimulator(deployments, seed=seed).run()
+    return {
+        name: ComparisonRow.from_metrics(policy, metrics)
+        for name, metrics in results.items()
+    }

@@ -1,0 +1,136 @@
+"""Calibrating performance profiles from real measurements.
+
+Downstream users bringing *their own* models to the library need a
+:class:`~repro.hardware.perfmodel.PerfProfile` for them.  This module turns
+a handful of wall-clock measurements — the kind a quick benchmark script
+produces — into the Eq. (1)/(2) parameterization:
+
+- :func:`latency_params_from_measurements` fits (lam*alpha, lam*beta, gamma)
+  from (resources, batch, seconds) triples, like the Offline Profiler but
+  exposed as a calibration API with explicit residual reporting;
+- :func:`profile_from_measurements` assembles a full profile from CPU and
+  GPU measurement sets plus init-time samples;
+- :func:`speedup_curve` tabulates the fitted scaling law for sanity checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.perfmodel import InitTimeParams, LatencyParams, PerfProfile
+from repro.utils.validation import check_positive
+
+# NOTE: repro.profiler imports are deferred into the functions below —
+# profiler modules import repro.dag, which imports repro.hardware, so a
+# top-level import here would close an import cycle through the package
+# __init__ files.
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One timing observation: ``resources`` cores (or GPU fraction),
+    ``batch`` requests, ``seconds`` of wall-clock inference time."""
+
+    resources: float
+    batch: int
+    seconds: float
+
+    def __post_init__(self) -> None:
+        check_positive("resources", self.resources)
+        check_positive("batch", self.batch)
+        check_positive("seconds", self.seconds)
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Fitted law plus its goodness-of-fit on the calibration set."""
+
+    params: LatencyParams
+    smape_percent: float
+    n_measurements: int
+
+
+def latency_params_from_measurements(
+    measurements: list[Measurement],
+) -> CalibrationResult:
+    """Fit Eq. (1)/(2) to measurements and report the residual SMAPE.
+
+    The lam/alpha ambiguity of the law is resolved as the profiler does:
+    ``lam = 1`` with the product folded into alpha and beta.
+    """
+    from repro.profiler.fitting import fit_latency_model, smape
+
+    if len(measurements) < 3:
+        raise ValueError(f"need >= 3 measurements, got {len(measurements)}")
+    r = np.array([m.resources for m in measurements], dtype=float)
+    b = np.array([m.batch for m in measurements], dtype=float)
+    t = np.array([m.seconds for m in measurements], dtype=float)
+    model = fit_latency_model(r, b, t)
+    params = LatencyParams(lam=1.0, alpha=model.a, beta=model.b, gamma=model.c)
+    predicted = model.predict(r, b)
+    return CalibrationResult(
+        params=params,
+        smape_percent=smape(t, predicted),
+        n_measurements=len(measurements),
+    )
+
+
+def init_params_from_samples(samples: list[float]) -> InitTimeParams:
+    """Gaussian init model from repeated cold-start timings."""
+    arr = np.asarray(samples, dtype=float)
+    if arr.size < 2:
+        raise ValueError(f"need >= 2 init samples, got {arr.size}")
+    if (arr <= 0).any():
+        raise ValueError("init samples must be positive")
+    return InitTimeParams(mean=float(arr.mean()), std=float(arr.std(ddof=1)) or 1e-6)
+
+
+def profile_from_measurements(
+    name: str,
+    cpu_measurements: list[Measurement],
+    gpu_measurements: list[Measurement],
+    cpu_init_samples: list[float],
+    gpu_init_samples: list[float],
+    *,
+    mem_knee_gb: float = 2.0,
+    max_batch: int = 32,
+    max_smape: float = 25.0,
+) -> PerfProfile:
+    """Assemble a :class:`PerfProfile` from raw measurements.
+
+    Raises if either backend's fit exceeds ``max_smape`` — a bad fit means
+    the optimizer would reason from numbers that do not describe the model.
+    """
+    cpu = latency_params_from_measurements(cpu_measurements)
+    gpu = latency_params_from_measurements(gpu_measurements)
+    for backend, result in (("cpu", cpu), ("gpu", gpu)):
+        if result.smape_percent > max_smape:
+            raise ValueError(
+                f"{backend} fit for {name!r} has SMAPE "
+                f"{result.smape_percent:.1f}% > {max_smape}%: "
+                "measurements do not follow the Eq. (1)/(2) law"
+            )
+    return PerfProfile(
+        name=name,
+        cpu=cpu.params,
+        gpu=gpu.params,
+        init_cpu=init_params_from_samples(cpu_init_samples),
+        init_gpu=init_params_from_samples(gpu_init_samples),
+        mem_knee_gb=mem_knee_gb,
+        max_batch=max_batch,
+    )
+
+
+def speedup_curve(
+    params: LatencyParams, resource_levels: list[float], batch: int = 1
+) -> list[tuple[float, float, float]]:
+    """(resources, seconds, speedup-vs-first) rows of the fitted law."""
+    if not resource_levels:
+        raise ValueError("resource_levels must not be empty")
+    base = params.latency(resource_levels[0], batch)
+    return [
+        (r, params.latency(r, batch), base / params.latency(r, batch))
+        for r in resource_levels
+    ]

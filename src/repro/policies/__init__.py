@@ -1,0 +1,45 @@
+"""Scheduling policies: SMIless, the paper's baselines, and ablations.
+
+Every policy plugs into the simulator through the
+:class:`~repro.policies.base.Policy` callbacks and differs only in its
+*decisions* — configuration choice, cold-start management and scaling:
+
+- :class:`SMIlessPolicy` — the paper's system: co-optimized configuration +
+  adaptive pre-warming from the Optimizer Engine, LSTM predictions,
+  batching/scale-out from the Auto-scaler (§III–V);
+- :class:`OrionPolicy` — sizes configurations assuming "right pre-warming"
+  always holds [4]; breaks down when invocations arrive close together;
+- :class:`IceBreakerPolicy` — per-function Fourier-predicted warm-up on
+  cost-vs-speed hardware, DAG-oblivious [17];
+- :class:`GrandSLAmPolicy` — per-stage slack division with always-on
+  instances, no cold-start management [5];
+- :class:`AquatopePolicy` — Bayesian-optimized configurations with
+  on-demand containers and a short keep-alive [24];
+- :class:`OptimalPolicy` — oracle: exhaustive search on true performance
+  plus perfectly timed pre-warming from the actual trace;
+- :class:`SMIlessNoDagPolicy` / :class:`SMIlessHomoPolicy` — the §VII-C3
+  ablations (simultaneous warm-up; CPU-only configurations).
+"""
+
+from repro.policies.ablations import SMIlessHomoPolicy, SMIlessNoDagPolicy
+from repro.policies.aquatope import AquatopePolicy
+from repro.policies.base import AlwaysOnPolicy, OnDemandPolicy, Policy
+from repro.policies.grandslam import GrandSLAmPolicy
+from repro.policies.icebreaker import IceBreakerPolicy
+from repro.policies.optimal import OptimalPolicy
+from repro.policies.orion import OrionPolicy
+from repro.policies.smiless import SMIlessPolicy
+
+__all__ = [
+    "Policy",
+    "AlwaysOnPolicy",
+    "OnDemandPolicy",
+    "SMIlessPolicy",
+    "OrionPolicy",
+    "IceBreakerPolicy",
+    "GrandSLAmPolicy",
+    "AquatopePolicy",
+    "OptimalPolicy",
+    "SMIlessNoDagPolicy",
+    "SMIlessHomoPolicy",
+]

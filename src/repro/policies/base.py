@@ -1,0 +1,82 @@
+"""Policy interface plus two trivial reference policies.
+
+A policy supplies decisions to the simulator through four callbacks; the
+engine supplies mechanism.  :class:`AlwaysOnPolicy` (one warm instance per
+function forever) and :class:`OnDemandPolicy` (pure cold starts, no
+keep-alive) bracket the design space and anchor the engine tests: always-on
+never cold-starts but pays idle cost; on-demand pays no idle cost but puts
+every initialization on the critical path.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+from repro.dag.graph import AppDAG
+from repro.hardware.configs import HardwareConfig
+from repro.simulator.engine import SimulationContext
+from repro.simulator.invocation import FunctionDirective, Invocation
+
+
+class Policy(abc.ABC):
+    """Scheduling decisions for one application run."""
+
+    #: Human-readable policy name (used in metrics and bench tables).
+    name: str = "policy"
+
+    @abc.abstractmethod
+    def on_register(self, app: AppDAG, ctx: SimulationContext) -> None:
+        """Called once before the trace starts.
+
+        Must install a :class:`FunctionDirective` for every function.
+        """
+
+    def on_window(self, t: float, ctx: SimulationContext) -> None:
+        """Called at the end of every control window (1 s by default)."""
+
+    def on_arrival(self, invocation: Invocation, ctx: SimulationContext) -> None:
+        """Called when an invocation reaches the gateway."""
+
+    def on_stage_complete(
+        self, invocation: Invocation, function: str, ctx: SimulationContext
+    ) -> None:
+        """Called when one stage of an invocation finishes."""
+
+
+class AlwaysOnPolicy(Policy):
+    """Keep one warm instance per function forever on a fixed config."""
+
+    name = "always-on"
+
+    def __init__(self, config: HardwareConfig | None = None) -> None:
+        self.config = config or HardwareConfig.cpu(16)
+
+    def on_register(self, app: AppDAG, ctx: SimulationContext) -> None:
+        for fn in app.function_names:
+            ctx.set_directive(
+                fn,
+                FunctionDirective(
+                    config=self.config,
+                    keep_alive=math.inf,
+                    batch=1,
+                    min_warm=1,
+                ),
+            )
+            ctx.schedule_warmup(fn, 0.0)
+
+
+class OnDemandPolicy(Policy):
+    """Cold-start every instance on demand; terminate as soon as idle."""
+
+    name = "on-demand"
+
+    def __init__(self, config: HardwareConfig | None = None) -> None:
+        self.config = config or HardwareConfig.cpu(16)
+
+    def on_register(self, app: AppDAG, ctx: SimulationContext) -> None:
+        for fn in app.function_names:
+            ctx.set_directive(
+                fn,
+                FunctionDirective(config=self.config, keep_alive=0.0, batch=1),
+            )

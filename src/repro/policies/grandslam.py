@@ -1,0 +1,97 @@
+"""GrandSLAm baseline [5]: slack division with always-on instances.
+
+GrandSLAm divides the application SLA among stages proportionally to their
+measured service times, picks for each stage the cheapest configuration
+meeting its sub-SLA budget, and batches within the budget to maximize
+throughput.  It performs **no cold-start management**: one instance per
+function is kept always on (few initializations → low latency in Fig. 8b),
+which is why its cost lands around 2.46x SMIless (§VII-B); and its resource
+scaling is restricted (the always-on singleton), so bursts overflow into
+SLA violations (Fig. 15).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+from repro.dag.graph import AppDAG
+from repro.hardware.configs import ConfigurationSpace, HardwareConfig
+from repro.policies.base import Policy
+from repro.profiler.profiles import FunctionProfile
+from repro.simulator.engine import SimulationContext
+from repro.simulator.invocation import FunctionDirective
+
+
+class GrandSLAmPolicy(Policy):
+    """Per-stage slack budgets, cheapest-fit configs, always-on fleet."""
+
+    name = "grandslam"
+
+    def __init__(
+        self,
+        profiles: Mapping[str, FunctionProfile],
+        *,
+        space: ConfigurationSpace | None = None,
+        reference: HardwareConfig | None = None,
+        max_batch: int = 16,
+    ) -> None:
+        self.profiles = dict(profiles)
+        self.space = space or ConfigurationSpace.default()
+        self.reference = reference or HardwareConfig.cpu(4)
+        self.max_batch = int(max_batch)
+
+    def stage_budgets(self, app: AppDAG) -> dict[str, float]:
+        """SLA split proportional to reference service times (per §VII-A).
+
+        Each function's budget is its share of the *longest* path's total
+        reference latency, so every path's budgeted sum stays within SLA.
+        """
+        ref = {
+            fn: self.profiles[fn].inference_time(self.reference)
+            for fn in app.function_names
+        }
+        budgets: dict[str, float] = {}
+        for path in app.simple_paths():
+            total = sum(ref[f] for f in path)
+            for f in path:
+                share = app.sla * ref[f] / total
+                budgets[f] = min(budgets.get(f, math.inf), share)
+        return budgets
+
+    def choose_config(self, fn: str, budget: float) -> HardwareConfig:
+        """Cheapest configuration whose service time fits the stage budget."""
+        profile = self.profiles[fn]
+        for cfg in self.space:  # cheapest-first
+            if not profile.supports(cfg.backend):
+                continue
+            if profile.inference_time(cfg) <= budget:
+                return cfg
+        # Budget unreachable: fall back to the fastest option.
+        return min(
+            (c for c in self.space if profile.supports(c.backend)),
+            key=lambda c: profile.inference_time(c),
+        )
+
+    def on_register(self, app: AppDAG, ctx: SimulationContext) -> None:
+        """Install always-on singletons with batching within the budget."""
+        budgets = self.stage_budgets(app)
+        for fn in app.function_names:
+            cfg = self.choose_config(fn, budgets[fn])
+            profile = self.profiles[fn]
+            batch = 1
+            while (
+                batch < self.max_batch
+                and profile.inference_time(cfg, batch + 1) <= budgets[fn]
+            ):
+                batch += 1
+            ctx.set_directive(
+                fn,
+                FunctionDirective(
+                    config=cfg,
+                    keep_alive=math.inf,
+                    batch=batch,
+                    min_warm=1,
+                ),
+            )
+            ctx.schedule_warmup(fn, 0.0, config=cfg)

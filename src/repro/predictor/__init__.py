@@ -1,0 +1,43 @@
+"""Online Predictor (paper §IV-B): invocation and inter-arrival forecasting.
+
+Two predictors drive SMIless' proactive decisions:
+
+- the **Invocation Predictor** — a bucketized LSTM *classifier* over
+  per-window invocation counts; predicting the bucket's upper bound (plus a
+  3 % compensation) avoids the under-estimation that causes SLA violations;
+- the **Inter-arrival Time Predictor** — a *dual-input* LSTM regressor that
+  merges an inter-arrival-time stream and an invocation-count stream to
+  keep over-estimation (which would delay pre-warming) rare.
+
+Baseline predictors from the paper's comparison (Fig. 12) live in
+:mod:`repro.predictor.baselines` (ARIMA, IceBreaker's Fourier-based FIP,
+sliding window) and :mod:`repro.predictor.gbrt` (an XGBoost stand-in).
+The LSTM itself is implemented from scratch on NumPy in
+:mod:`repro.predictor.lstm` (forward + BPTT + Adam).
+"""
+
+from repro.predictor.baselines import (
+    ArimaPredictor,
+    FipPredictor,
+    SlidingWindowPredictor,
+)
+from repro.predictor.gbrt import GbrtPredictor
+from repro.predictor.interarrival import InterArrivalPredictor
+from repro.predictor.invocation import InvocationPredictor
+from repro.predictor.metrics import (
+    mean_absolute_percentage_error,
+    overestimation_rate,
+    underestimation_rate,
+)
+
+__all__ = [
+    "InvocationPredictor",
+    "InterArrivalPredictor",
+    "ArimaPredictor",
+    "FipPredictor",
+    "SlidingWindowPredictor",
+    "GbrtPredictor",
+    "underestimation_rate",
+    "overestimation_rate",
+    "mean_absolute_percentage_error",
+]

@@ -1,0 +1,175 @@
+"""Baseline forecasters for the Fig. 12 predictor comparison.
+
+- :class:`ArimaPredictor` — an ARIMA(p, d, 0) model fit by conditional least
+  squares (the paper cites ARIMA as the classic time-series baseline [61]);
+- :class:`FipPredictor` — IceBreaker's Fourier-transform-based invocation
+  prediction [17]: keep the dominant harmonics of the training series and
+  extrapolate them forward;
+- :class:`SlidingWindowPredictor` — a simple recent-window statistic
+  (mean / max / last), the usual keep-alive heuristic.
+
+All share the interface ``fit(series)`` → ``predict_next(history)`` →
+``rolling_predict(series)`` so the Fig. 12 bench can sweep them uniformly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+class ArimaPredictor:
+    """AR(p) on the d-times-differenced series, fit by least squares."""
+
+    def __init__(self, p: int = 8, d: int = 0) -> None:
+        check_positive("p", p)
+        if d < 0:
+            raise ValueError(f"d must be >= 0, got {d}")
+        self.p = int(p)
+        self.d = int(d)
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+
+    def _difference(self, series: np.ndarray) -> np.ndarray:
+        for _ in range(self.d):
+            series = np.diff(series)
+        return series
+
+    def fit(self, series: np.ndarray) -> "ArimaPredictor":
+        """Estimate AR coefficients from a training series."""
+        s = self._difference(np.asarray(series, dtype=float))
+        if s.size <= self.p + 1:
+            raise ValueError(
+                f"series too short ({s.size}) for AR order {self.p} after differencing"
+            )
+        X = np.column_stack(
+            [s[self.p - k - 1 : s.size - k - 1] for k in range(self.p)]
+            + [np.ones(s.size - self.p)]
+        )
+        y = s[self.p :]
+        sol, *_ = np.linalg.lstsq(X, y, rcond=None)
+        self.coef_ = sol[:-1]
+        self.intercept_ = float(sol[-1])
+        return self
+
+    def predict_next(self, history: np.ndarray) -> float:
+        """One-step-ahead forecast from the most recent observations."""
+        if self.coef_ is None:
+            raise RuntimeError("predictor must be fit() before prediction")
+        h = np.asarray(history, dtype=float)
+        if h.size < self.p + self.d:
+            raise ValueError(f"need >= {self.p + self.d} observations")
+        diffed = self._difference(h)
+        lags = diffed[-self.p :][::-1]
+        pred_diff = float(lags @ self.coef_) + self.intercept_
+        # integrate back d times using the last levels of the history
+        pred = pred_diff
+        for k in range(self.d):
+            tail = h
+            for _ in range(self.d - 1 - k):
+                tail = np.diff(tail)
+            pred += tail[-1]
+        return pred
+
+    def rolling_predict(self, series: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(actual, predicted) one-step forecasts along ``series``."""
+        s = np.asarray(series, dtype=float)
+        start = self.p + self.d
+        actual, preds = [], []
+        for t in range(start, s.size):
+            preds.append(self.predict_next(s[:t]))
+            actual.append(s[t])
+        return np.array(actual), np.array(preds)
+
+
+class FipPredictor:
+    """Fourier-based Invocation Prediction (IceBreaker [17]).
+
+    Fits the training series with its ``n_harmonics`` largest-magnitude FFT
+    components (plus the mean) and predicts by evaluating the harmonic model
+    at future time indices.
+    """
+
+    def __init__(self, n_harmonics: int = 8) -> None:
+        check_positive("n_harmonics", n_harmonics)
+        self.n_harmonics = int(n_harmonics)
+        self._coeffs: list[tuple[float, float, float]] | None = None
+        self._mean = 0.0
+        self._n_train = 0
+
+    def fit(self, series: np.ndarray) -> "FipPredictor":
+        """Extract dominant harmonics from the training series."""
+        s = np.asarray(series, dtype=float)
+        if s.size < 4:
+            raise ValueError("series too short for FFT fitting")
+        self._mean = float(s.mean())
+        self._n_train = s.size
+        spectrum = np.fft.rfft(s - self._mean)
+        freqs = np.fft.rfftfreq(s.size)
+        order = np.argsort(np.abs(spectrum))[::-1]
+        self._coeffs = []
+        for idx in order[: self.n_harmonics]:
+            if freqs[idx] == 0.0:
+                continue
+            amp = 2.0 * np.abs(spectrum[idx]) / s.size
+            phase = float(np.angle(spectrum[idx]))
+            self._coeffs.append((float(freqs[idx]), amp, phase))
+        return self
+
+    def predict_at(self, t: int | np.ndarray) -> np.ndarray:
+        """Evaluate the harmonic model at absolute time index ``t``."""
+        if self._coeffs is None:
+            raise RuntimeError("predictor must be fit() before prediction")
+        t = np.asarray(t, dtype=float)
+        out = np.full_like(t, self._mean, dtype=float)
+        for freq, amp, phase in self._coeffs:
+            out = out + amp * np.cos(2 * np.pi * freq * t + phase)
+        return np.clip(out, 0.0, None)
+
+    def predict_next(self, history: np.ndarray) -> float:
+        """Forecast the value at the index following ``history``."""
+        return float(self.predict_at(np.asarray(history).size))
+
+    def rolling_predict(self, series: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(actual, predicted) pairs extrapolating beyond the training window."""
+        s = np.asarray(series, dtype=float)
+        idx = self._n_train + np.arange(s.size)
+        return s, self.predict_at(idx)
+
+
+class SlidingWindowPredictor:
+    """Recent-window statistic: ``mean``, ``max`` or ``last``."""
+
+    _STATS = {
+        "mean": lambda w: float(np.mean(w)),
+        "max": lambda w: float(np.max(w)),
+        "last": lambda w: float(w[-1]),
+    }
+
+    def __init__(self, window: int = 10, stat: str = "mean") -> None:
+        check_positive("window", window)
+        if stat not in self._STATS:
+            raise ValueError(f"stat must be one of {sorted(self._STATS)}, got {stat!r}")
+        self.window = int(window)
+        self.stat = stat
+
+    def fit(self, series: np.ndarray) -> "SlidingWindowPredictor":
+        """No-op (stateless model); kept for interface parity."""
+        return self
+
+    def predict_next(self, history: np.ndarray) -> float:
+        """Statistic of the trailing window of ``history``."""
+        h = np.asarray(history, dtype=float)
+        if h.size == 0:
+            raise ValueError("history must not be empty")
+        return self._STATS[self.stat](h[-self.window :])
+
+    def rolling_predict(self, series: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(actual, predicted) one-step forecasts along ``series``."""
+        s = np.asarray(series, dtype=float)
+        actual, preds = [], []
+        for t in range(1, s.size):
+            preds.append(self.predict_next(s[:t]))
+            actual.append(s[t])
+        return np.array(actual), np.array(preds)

@@ -1,0 +1,151 @@
+"""Gradient-boosted regression trees — the XGBoost stand-in for Fig. 12.
+
+XGBoost cannot be installed in this environment, so the comparison baseline
+is a from-scratch gradient-boosting regressor on lagged features: squared
+loss, shallow CART trees grown greedily by variance reduction, shrinkage,
+and quantile-candidate split search.  It is deliberately small but is a real
+boosted-trees learner, not a stub.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.predictor.lstm import make_windows
+from repro.utils.validation import check_in_range, check_positive
+
+
+@dataclass
+class _Node:
+    """One node of a regression tree (leaf when ``feature`` is None)."""
+
+    value: float
+    feature: int | None = None
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+
+class RegressionTree:
+    """CART regression tree with greedy variance-reduction splits."""
+
+    def __init__(
+        self, max_depth: int = 3, min_samples_leaf: int = 5, n_thresholds: int = 16
+    ) -> None:
+        check_positive("max_depth", max_depth)
+        check_positive("min_samples_leaf", min_samples_leaf)
+        check_positive("n_thresholds", n_thresholds)
+        self.max_depth = int(max_depth)
+        self.min_samples_leaf = int(min_samples_leaf)
+        self.n_thresholds = int(n_thresholds)
+        self.root: _Node | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RegressionTree":
+        """Grow the tree on (X, y)."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim != 2 or y.ndim != 1 or X.shape[0] != y.shape[0]:
+            raise ValueError("X must be (n, d) and y (n,) with matching n")
+        self.root = self._grow(X, y, depth=0)
+        return self
+
+    def _grow(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        node = _Node(value=float(y.mean()))
+        if depth >= self.max_depth or y.size < 2 * self.min_samples_leaf:
+            return node
+        best_gain, best = 0.0, None
+        base_sse = float(((y - y.mean()) ** 2).sum())
+        for j in range(X.shape[1]):
+            col = X[:, j]
+            qs = np.unique(
+                np.quantile(col, np.linspace(0.05, 0.95, self.n_thresholds))
+            )
+            for thr in qs:
+                mask = col <= thr
+                nl = int(mask.sum())
+                if nl < self.min_samples_leaf or y.size - nl < self.min_samples_leaf:
+                    continue
+                yl, yr = y[mask], y[~mask]
+                sse = float(((yl - yl.mean()) ** 2).sum()) + float(
+                    ((yr - yr.mean()) ** 2).sum()
+                )
+                gain = base_sse - sse
+                if gain > best_gain:
+                    best_gain, best = gain, (j, float(thr), mask)
+        if best is None:
+            return node
+        j, thr, mask = best
+        node.feature, node.threshold = j, thr
+        node.left = self._grow(X[mask], y[mask], depth + 1)
+        node.right = self._grow(X[~mask], y[~mask], depth + 1)
+        return node
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Per-row predictions."""
+        if self.root is None:
+            raise RuntimeError("tree must be fit() before prediction")
+        X = np.asarray(X, dtype=float)
+        out = np.empty(X.shape[0])
+        for i, row in enumerate(X):
+            node = self.root
+            while node.feature is not None:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+                assert node is not None
+            out[i] = node.value
+        return out
+
+
+class GbrtPredictor:
+    """Boosted trees over lagged features, with next-step forecasting API."""
+
+    def __init__(
+        self,
+        lags: int = 12,
+        n_estimators: int = 60,
+        learning_rate: float = 0.1,
+        max_depth: int = 3,
+    ) -> None:
+        check_positive("lags", lags)
+        check_positive("n_estimators", n_estimators)
+        check_in_range("learning_rate", learning_rate, 1e-6, 1.0)
+        self.lags = int(lags)
+        self.n_estimators = int(n_estimators)
+        self.learning_rate = float(learning_rate)
+        self.max_depth = int(max_depth)
+        self._trees: list[RegressionTree] = []
+        self._base = 0.0
+
+    def fit(self, series: np.ndarray) -> "GbrtPredictor":
+        """Fit boosted trees on (lag-window → next value) pairs."""
+        X, y = make_windows(np.asarray(series, dtype=float), self.lags)
+        self._base = float(y.mean())
+        resid = y - self._base
+        self._trees = []
+        pred = np.zeros_like(y)
+        for _ in range(self.n_estimators):
+            tree = RegressionTree(max_depth=self.max_depth).fit(X, resid - pred)
+            self._trees.append(tree)
+            pred = pred + self.learning_rate * tree.predict(X)
+        return self
+
+    def _predict_features(self, X: np.ndarray) -> np.ndarray:
+        out = np.full(X.shape[0], self._base)
+        for tree in self._trees:
+            out = out + self.learning_rate * tree.predict(X)
+        return out
+
+    def predict_next(self, history: np.ndarray) -> float:
+        """One-step-ahead forecast from the trailing lag window."""
+        if not self._trees:
+            raise RuntimeError("predictor must be fit() before prediction")
+        h = np.asarray(history, dtype=float)
+        if h.size < self.lags:
+            raise ValueError(f"need >= {self.lags} observations, got {h.size}")
+        return float(self._predict_features(h[-self.lags :][None, :])[0])
+
+    def rolling_predict(self, series: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(actual, predicted) one-step forecasts along a held-out series."""
+        X, y = make_windows(np.asarray(series, dtype=float), self.lags)
+        return y, self._predict_features(X)

@@ -1,0 +1,51 @@
+"""Forecast-quality metrics used in the Fig. 12 comparison.
+
+The paper scores invocation-number predictors by their *under-estimation*
+error (an under-estimate means too few instances and an SLA violation) and
+inter-arrival predictors by MAPE and the probability of *over*-estimation
+(an over-estimate means a pre-warm that starts too late).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _pair(actual, predicted) -> tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(actual, dtype=float)
+    p = np.asarray(predicted, dtype=float)
+    if a.shape != p.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {p.shape}")
+    if a.size == 0:
+        raise ValueError("metrics of empty arrays are undefined")
+    return a, p
+
+
+def underestimation_rate(actual, predicted) -> float:
+    """Fraction of predictions strictly below the actual value."""
+    a, p = _pair(actual, predicted)
+    return float((p < a).mean())
+
+
+def overestimation_rate(actual, predicted) -> float:
+    """Fraction of predictions strictly above the actual value."""
+    a, p = _pair(actual, predicted)
+    return float((p > a).mean())
+
+
+def underestimation_magnitude(actual, predicted) -> float:
+    """Mean relative shortfall over under-estimated samples (0 if none)."""
+    a, p = _pair(actual, predicted)
+    mask = (p < a) & (a > 0)
+    if not mask.any():
+        return 0.0
+    return float(((a[mask] - p[mask]) / a[mask]).mean())
+
+
+def mean_absolute_percentage_error(actual, predicted) -> float:
+    """MAPE in percent over samples with non-zero actual value."""
+    a, p = _pair(actual, predicted)
+    mask = a != 0
+    if not mask.any():
+        raise ValueError("MAPE undefined when all actual values are zero")
+    return float(100.0 * np.mean(np.abs((p[mask] - a[mask]) / a[mask])))

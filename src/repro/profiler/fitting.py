@@ -1,0 +1,116 @@
+"""Least-squares fitting of the inference-time model (Eq. 1/2).
+
+The paper's latency law is ``t = lam * B * (alpha/r + beta) + gamma`` where
+``r`` is the resource amount (CPU cores or GPU fraction).  ``lam`` only ever
+multiplies ``alpha`` and ``beta``, so the identifiable parameterization is
+linear in the features ``[B/r, B, 1]``:
+
+    t = a * (B/r) + b * B + c       with a = lam*alpha, b = lam*beta, c = gamma
+
+which we solve with ordinary least squares.  Negative coefficients are
+clipped to a small floor — timing noise can otherwise produce a (physically
+meaningless) negative serial fraction on tiny models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+#: Floor applied to fitted coefficients (seconds); keeps predictions positive.
+_COEF_FLOOR = 1e-6
+
+
+@dataclass(frozen=True)
+class FittedLatencyModel:
+    """Fitted inference-time predictor for one function on one backend.
+
+    ``a = lam*alpha`` (parallel volume), ``b = lam*beta`` (serial per-item
+    overhead), ``c = gamma`` (constant).  Exposes the same ``latency``
+    interface as the ground-truth law, so the optimizer is agnostic to
+    whether it runs on fitted or oracle numbers.
+    """
+
+    a: float
+    b: float
+    c: float
+
+    def latency(self, resources: float, batch: int = 1) -> float:
+        """Predicted inference time for ``batch`` items on ``resources``."""
+        check_positive("resources", resources)
+        check_positive("batch", batch)
+        return self.a * batch / resources + self.b * batch + self.c
+
+    def predict(self, resources: np.ndarray, batch: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`latency`."""
+        resources = np.asarray(resources, dtype=float)
+        batch = np.asarray(batch, dtype=float)
+        return self.a * batch / resources + self.b * batch + self.c
+
+
+def fit_latency_model(
+    resources: np.ndarray,
+    batches: np.ndarray,
+    times: np.ndarray,
+) -> FittedLatencyModel:
+    """Fit Eq. (1)/(2) to measurement samples with least squares.
+
+    Parameters are sample-aligned arrays: resource amount, batch size, and
+    measured inference time.  Requires at least 3 samples spanning more than
+    one resource level so the system is well-posed.
+    """
+    r = np.asarray(resources, dtype=float)
+    b = np.asarray(batches, dtype=float)
+    t = np.asarray(times, dtype=float)
+    if not (r.shape == b.shape == t.shape):
+        raise ValueError("resources, batches and times must be the same shape")
+    if r.size < 3:
+        raise ValueError(f"need >= 3 samples to fit, got {r.size}")
+    if (r <= 0).any() or (b <= 0).any() or (t < 0).any():
+        raise ValueError("samples must have positive resources/batches and non-negative times")
+    if np.unique(r).size < 2:
+        raise ValueError("samples must span at least two resource levels")
+
+    X = np.column_stack([b / r, b, np.ones_like(t)])
+    # Relative (1/t) weighting: absolute least squares would be dominated by
+    # the slowest samples (e.g. batch 32 on one core), leaving percentage
+    # errors on fast configurations large — and SMAPE is what §VII-C1
+    # evaluates.
+    w = 1.0 / np.clip(t, 1e-6, None)
+    coef, *_ = np.linalg.lstsq(X * w[:, None], t * w, rcond=None)
+    a, b_coef, c = (max(float(v), _COEF_FLOOR) for v in coef)
+    return FittedLatencyModel(a=a, b=b_coef, c=c)
+
+
+def smape(actual: np.ndarray, predicted: np.ndarray) -> float:
+    """Symmetric Mean Absolute Percentage Error, in percent (Fig. 11b).
+
+    ``SMAPE = 100 * mean(|p - a| / ((|a| + |p|) / 2))``; pairs where both
+    values are zero contribute zero error.
+    """
+    a = np.asarray(actual, dtype=float)
+    p = np.asarray(predicted, dtype=float)
+    if a.shape != p.shape:
+        raise ValueError("actual and predicted must be the same shape")
+    if a.size == 0:
+        raise ValueError("smape of empty arrays is undefined")
+    denom = (np.abs(a) + np.abs(p)) / 2.0
+    err = np.zeros_like(a)
+    mask = denom > 0
+    err[mask] = np.abs(p[mask] - a[mask]) / denom[mask]
+    return float(100.0 * err.mean())
+
+
+def mape(actual: np.ndarray, predicted: np.ndarray) -> float:
+    """Mean Absolute Percentage Error in percent (Fig. 12b metric)."""
+    a = np.asarray(actual, dtype=float)
+    p = np.asarray(predicted, dtype=float)
+    if a.shape != p.shape:
+        raise ValueError("actual and predicted must be the same shape")
+    mask = a != 0
+    if not mask.any():
+        raise ValueError("mape undefined when all actual values are zero")
+    return float(100.0 * np.mean(np.abs((p[mask] - a[mask]) / a[mask])))

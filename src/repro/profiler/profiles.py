@@ -1,0 +1,79 @@
+"""Function profiles: the optimizer-facing view of profiled performance.
+
+A :class:`FunctionProfile` bundles, per backend, the fitted latency model
+and the robust initialization estimate.  Every latency/cost number the
+Strategy Optimizer, Auto-scaler and baselines use flows through this class,
+so swapping profiled knowledge for oracle knowledge (OPT baseline) is a
+one-object change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.configs import Backend, HardwareConfig
+from repro.profiler.fitting import FittedLatencyModel
+from repro.profiler.inittime import DEFAULT_UNCERTAINTY, InitTimeEstimate
+
+
+@dataclass(frozen=True)
+class FunctionProfile:
+    """Profiled performance knowledge for one function.
+
+    A backend may be absent (``None``) when the profiling campaign skipped
+    it — e.g. the CPU-only ablation.  Querying an absent backend raises.
+    """
+
+    function: str
+    cpu_model: FittedLatencyModel | None
+    gpu_model: FittedLatencyModel | None
+    init_cpu: InitTimeEstimate | None
+    init_gpu: InitTimeEstimate | None
+    n_sigma: float = DEFAULT_UNCERTAINTY
+
+    def supports(self, backend: Backend) -> bool:
+        """Whether this profile covers ``backend``."""
+        model = self.cpu_model if backend is Backend.CPU else self.gpu_model
+        return model is not None
+
+    def _model(self, backend: Backend) -> FittedLatencyModel:
+        model = self.cpu_model if backend is Backend.CPU else self.gpu_model
+        if model is None:
+            raise ValueError(
+                f"function {self.function!r} has no profiled {backend.value} model"
+            )
+        return model
+
+    def _init(self, backend: Backend) -> InitTimeEstimate:
+        est = self.init_cpu if backend is Backend.CPU else self.init_gpu
+        if est is None:
+            raise ValueError(
+                f"function {self.function!r} has no profiled {backend.value} init estimate"
+            )
+        return est
+
+    def inference_time(self, config: HardwareConfig, batch: int = 1) -> float:
+        """Predicted inference time (the ``I_k`` of §V-B)."""
+        resources = (
+            config.cpu_cores if config.backend is Backend.CPU else config.gpu_fraction
+        )
+        return self._model(config.backend).latency(resources, batch)
+
+    def init_time(self, config: HardwareConfig) -> float:
+        """Robust initialization time ``mu + n*sigma`` (the ``T_k`` of §V-B)."""
+        return self._init(config.backend).robust(self.n_sigma)
+
+    def mean_init_time(self, config: HardwareConfig) -> float:
+        """Plain-mean initialization time (the Fig. 11a strawman)."""
+        return self._init(config.backend).mean
+
+    def with_n_sigma(self, n_sigma: float) -> "FunctionProfile":
+        """Copy of this profile with a different uncertainty multiplier."""
+        return FunctionProfile(
+            function=self.function,
+            cpu_model=self.cpu_model,
+            gpu_model=self.gpu_model,
+            init_cpu=self.init_cpu,
+            init_gpu=self.init_gpu,
+            n_sigma=n_sigma,
+        )

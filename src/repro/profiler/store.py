@@ -1,0 +1,101 @@
+"""In-process metric store standing in for Prometheus (paper §IV-A).
+
+The real system tracks per-stage timings with event tracking and stores them
+in Prometheus alongside hardware configuration and batch-size labels.  This
+store keeps the same record shape — (function, config, batch, kind, value,
+timestamp) — with label-based querying, which is all the Offline Profiler
+consumes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class MetricKind(enum.Enum):
+    """The two stages of function execution the profiler distinguishes."""
+
+    INIT = "init"
+    INFERENCE = "inference"
+
+
+@dataclass(frozen=True)
+class MetricSample:
+    """One timing record with its identifying labels."""
+
+    function: str
+    config_key: str
+    batch: int
+    kind: MetricKind
+    value: float
+    timestamp: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise ValueError(f"negative timing value {self.value}")
+        if self.batch < 1:
+            raise ValueError(f"batch must be >= 1, got {self.batch}")
+
+
+@dataclass
+class MetricStore:
+    """Append-only store of :class:`MetricSample` with label filtering."""
+
+    _samples: list[MetricSample] = field(default_factory=list)
+
+    def record(self, sample: MetricSample) -> None:
+        """Append one sample."""
+        self._samples.append(sample)
+
+    def record_timing(
+        self,
+        function: str,
+        config_key: str,
+        kind: MetricKind,
+        value: float,
+        *,
+        batch: int = 1,
+        timestamp: float = 0.0,
+    ) -> None:
+        """Convenience wrapper building and appending a sample."""
+        self.record(MetricSample(function, config_key, batch, kind, value, timestamp))
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def query(
+        self,
+        *,
+        function: str | None = None,
+        config_key: str | None = None,
+        batch: int | None = None,
+        kind: MetricKind | None = None,
+    ) -> list[MetricSample]:
+        """All samples matching every provided label."""
+        out = []
+        for s in self._samples:
+            if function is not None and s.function != function:
+                continue
+            if config_key is not None and s.config_key != config_key:
+                continue
+            if batch is not None and s.batch != batch:
+                continue
+            if kind is not None and s.kind != kind:
+                continue
+            out.append(s)
+        return out
+
+    def values(self, **labels) -> np.ndarray:
+        """Timing values of :meth:`query` as an array."""
+        return np.array([s.value for s in self.query(**labels)])
+
+    def functions(self) -> tuple[str, ...]:
+        """Distinct function labels present in the store."""
+        return tuple(dict.fromkeys(s.function for s in self._samples))
+
+    def clear(self) -> None:
+        """Drop all samples (used between profiling campaigns)."""
+        self._samples.clear()

@@ -1,0 +1,121 @@
+"""Cluster capacity model (paper §VII-A System Settings).
+
+Eight machines, each with two 52-core Xeons (104 cores) and one RTX
+3090-class GPU shared through MPS in 10 % slots.  Containers are placed
+first-fit; the cluster refuses placements that would exceed any machine's
+capacity, so instance launches can queue under extreme bursts — exactly the
+back-pressure a real K8s scheduler produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.configs import Backend, HardwareConfig
+from repro.utils.validation import check_positive
+
+#: Paper defaults: 8 machines x (2 x 52 cores, 1 GPU of 10 MPS slots).
+DEFAULT_MACHINES = 8
+DEFAULT_CORES_PER_MACHINE = 104
+DEFAULT_GPU_SLOTS_PER_MACHINE = 10
+
+
+@dataclass
+class Machine:
+    """One host: a pool of CPU cores and MPS GPU slots."""
+
+    index: int
+    cores_total: int = DEFAULT_CORES_PER_MACHINE
+    gpu_slots_total: int = DEFAULT_GPU_SLOTS_PER_MACHINE
+    cores_used: int = 0
+    gpu_slots_used: int = 0
+
+    def can_fit(self, config: HardwareConfig) -> bool:
+        """Whether this machine has room for an instance of ``config``."""
+        if config.backend is Backend.CPU:
+            return self.cores_used + config.cpu_cores <= self.cores_total
+        return self.gpu_slots_used + config.mps_slots <= self.gpu_slots_total
+
+    def allocate(self, config: HardwareConfig) -> None:
+        """Reserve the resources of ``config`` (caller checked ``can_fit``)."""
+        if not self.can_fit(config):
+            raise RuntimeError(f"machine {self.index} cannot fit {config.key}")
+        if config.backend is Backend.CPU:
+            self.cores_used += config.cpu_cores
+        else:
+            self.gpu_slots_used += config.mps_slots
+
+    def release(self, config: HardwareConfig) -> None:
+        """Return the resources of ``config`` to the pool."""
+        if config.backend is Backend.CPU:
+            self.cores_used -= config.cpu_cores
+            if self.cores_used < 0:
+                raise RuntimeError(f"machine {self.index} core accounting underflow")
+        else:
+            self.gpu_slots_used -= config.mps_slots
+            if self.gpu_slots_used < 0:
+                raise RuntimeError(f"machine {self.index} GPU accounting underflow")
+
+
+@dataclass(frozen=True)
+class Placement:
+    """A successful allocation: which machine hosts the instance."""
+
+    machine: int
+    config: HardwareConfig
+
+
+@dataclass
+class Cluster:
+    """First-fit placement over a fleet of identical machines."""
+
+    machines: list[Machine] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.machines:
+            self.machines = [Machine(i) for i in range(DEFAULT_MACHINES)]
+
+    @classmethod
+    def build(
+        cls,
+        n_machines: int = DEFAULT_MACHINES,
+        cores_per_machine: int = DEFAULT_CORES_PER_MACHINE,
+        gpu_slots_per_machine: int = DEFAULT_GPU_SLOTS_PER_MACHINE,
+    ) -> "Cluster":
+        """Build a uniform cluster (paper default: 8 x 104 cores x 10 slots)."""
+        check_positive("n_machines", n_machines)
+        return cls(
+            [
+                Machine(i, cores_per_machine, gpu_slots_per_machine)
+                for i in range(n_machines)
+            ]
+        )
+
+    def try_allocate(self, config: HardwareConfig) -> Placement | None:
+        """First-fit placement; ``None`` when no machine has room."""
+        for m in self.machines:
+            if m.can_fit(config):
+                m.allocate(config)
+                return Placement(machine=m.index, config=config)
+        return None
+
+    def release(self, placement: Placement) -> None:
+        """Free a previous placement."""
+        self.machines[placement.machine].release(placement.config)
+
+    # -- capacity introspection ------------------------------------------------
+    def cores_used(self) -> int:
+        """Total CPU cores currently allocated."""
+        return sum(m.cores_used for m in self.machines)
+
+    def gpu_slots_used(self) -> int:
+        """Total MPS slots currently allocated."""
+        return sum(m.gpu_slots_used for m in self.machines)
+
+    def cores_total(self) -> int:
+        """Cluster-wide CPU core capacity."""
+        return sum(m.cores_total for m in self.machines)
+
+    def gpu_slots_total(self) -> int:
+        """Cluster-wide MPS slot capacity."""
+        return sum(m.gpu_slots_total for m in self.machines)

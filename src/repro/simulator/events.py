@@ -1,0 +1,69 @@
+"""Event queue: the simulator's clock and dispatch loop.
+
+A minimal but strict discrete-event core: events are ``(time, seq,
+callback)`` triples in a binary heap.  The monotonically increasing ``seq``
+makes simultaneous events fire in scheduling order, which keeps runs fully
+deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Callable
+
+
+class EventQueue:
+    """Time-ordered callback queue with deterministic tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (seconds)."""
+        return self._now
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, time: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at absolute ``time``.
+
+        Events scheduled in the past are clamped to *now* — a late pre-warm
+        request simply starts immediately, as on the real platform.
+        """
+        if not math.isfinite(time):
+            raise ValueError(f"event time must be finite, got {time}")
+        heapq.heappush(self._heap, (max(time, self._now), next(self._seq), callback))
+
+    def schedule_in(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        self.schedule(self._now + delay, callback)
+
+    def step(self) -> bool:
+        """Fire the earliest event; returns False when the queue is empty."""
+        if not self._heap:
+            return False
+        time, _, callback = heapq.heappop(self._heap)
+        self._now = time
+        callback()
+        return True
+
+    def run_until(self, horizon: float) -> None:
+        """Fire events in order until the queue empties or passes ``horizon``."""
+        while self._heap and self._heap[0][0] <= horizon:
+            self.step()
+        self._now = max(self._now, horizon)
+
+    def run(self, max_events: int = 50_000_000) -> None:
+        """Drain the queue completely (bounded as a runaway backstop)."""
+        for _ in range(max_events):
+            if not self.step():
+                return
+        raise RuntimeError(f"event budget of {max_events} exhausted")

@@ -1,0 +1,151 @@
+"""Run metrics: cost, latency, violations, usage ratios, reinit counts.
+
+Everything the evaluation figures consume is recorded here:
+
+- Fig. 8a — total execution cost (with init/inference/keep-alive split);
+- Fig. 8b — the E2E latency distribution;
+- Fig. 9a — the CPU:GPU usage (billed cost per backend);
+- Fig. 9b — the fraction of stage executions that hit a (re)initialization;
+- Fig. 10b/13b/15 — the SLA violation ratio;
+- Fig. 14 — per-window pod counts and per-backend instance counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hardware.configs import Backend, HardwareConfig
+from repro.simulator.container import Instance
+from repro.simulator.invocation import Invocation
+
+
+@dataclass(frozen=True)
+class InstanceUsage:
+    """Billing summary of one (terminated) instance."""
+
+    function: str
+    config: HardwareConfig
+    lifetime: float
+    init_seconds: float
+    busy_seconds: float
+    idle_seconds: float
+    cost: float
+    batches_served: int
+    invocations_served: int
+
+    @classmethod
+    def from_instance(cls, inst: Instance, now: float) -> "InstanceUsage":
+        """Snapshot an instance's billing at ``now``."""
+        return cls(
+            function=inst.function,
+            config=inst.config,
+            lifetime=inst.lifetime(now),
+            init_seconds=inst.init_seconds(now),
+            busy_seconds=inst.busy_seconds,
+            idle_seconds=inst.idle_seconds(now),
+            cost=inst.cost(now),
+            batches_served=inst.batches_served,
+            invocations_served=inst.invocations_served,
+        )
+
+
+@dataclass
+class RunMetrics:
+    """Aggregated outcome of one simulation run."""
+
+    app: str
+    policy: str
+    sla: float
+    duration: float = 0.0
+    instances: list[InstanceUsage] = field(default_factory=list)
+    invocations: list[Invocation] = field(default_factory=list)
+    unfinished: int = 0
+    stage_executions: int = 0
+    cold_stage_executions: int = 0
+    initializations: int = 0
+    failed_initializations: int = 0
+    pod_samples: list[tuple[float, int, int]] = field(default_factory=list)
+    arrival_samples: list[tuple[float, int]] = field(default_factory=list)
+
+    # -- cost ----------------------------------------------------------------
+    def total_cost(self) -> float:
+        """Total dollars billed over the run (Fig. 8a)."""
+        return sum(u.cost for u in self.instances)
+
+    def cost_breakdown(self) -> dict[str, float]:
+        """Dollars split into initialization / inference / keep-alive idle."""
+        init = sum(u.init_seconds * u.config.unit_cost for u in self.instances)
+        busy = sum(u.busy_seconds * u.config.unit_cost for u in self.instances)
+        idle = sum(u.idle_seconds * u.config.unit_cost for u in self.instances)
+        return {"init": init, "inference": busy, "keepalive": idle}
+
+    def backend_cost(self, backend: Backend) -> float:
+        """Dollars billed on one backend type."""
+        return sum(u.cost for u in self.instances if u.config.backend is backend)
+
+    def cpu_gpu_cost_ratio(self) -> float:
+        """CPU-to-GPU billed-cost ratio (Fig. 9a; ``inf`` if no GPU usage)."""
+        gpu = self.backend_cost(Backend.GPU)
+        cpu = self.backend_cost(Backend.CPU)
+        return cpu / gpu if gpu > 0 else float("inf")
+
+    # -- latency / SLA ----------------------------------------------------------
+    def latencies(self) -> np.ndarray:
+        """E2E latencies of completed invocations."""
+        return np.array([inv.latency for inv in self.invocations if inv.finished])
+
+    def violation_ratio(self) -> float:
+        """Fraction of requests exceeding the SLA (unfinished count too)."""
+        total = len(self.invocations) + self.unfinished
+        if total == 0:
+            return 0.0
+        lat = self.latencies()
+        violations = int((lat > self.sla + 1e-9).sum()) + self.unfinished
+        return violations / total
+
+    def latency_percentile(self, q: float) -> float:
+        """Latency percentile ``q`` in [0, 100]."""
+        lat = self.latencies()
+        if lat.size == 0:
+            raise ValueError("no completed invocations")
+        return float(np.percentile(lat, q))
+
+    # -- cold starts -------------------------------------------------------------
+    def reinit_fraction(self) -> float:
+        """Fraction of stage executions that waited on an initialization
+        (Fig. 9b's container-reinitialization measure)."""
+        if self.stage_executions == 0:
+            return 0.0
+        return self.cold_stage_executions / self.stage_executions
+
+    def initializations_per_invocation(self) -> float:
+        """Mean container initializations per completed invocation."""
+        n = len(self.invocations)
+        return self.initializations / n if n else 0.0
+
+    # -- fleet dynamics ----------------------------------------------------------
+    def pods_over_time(self) -> np.ndarray:
+        """(time, cpu_pods, gpu_pods) samples per window (Fig. 14)."""
+        return np.array(self.pod_samples, dtype=float).reshape(-1, 3)
+
+    def arrivals_over_time(self) -> np.ndarray:
+        """(time, arrivals) samples per window (Fig. 14a)."""
+        return np.array(self.arrival_samples, dtype=float).reshape(-1, 2)
+
+    def summary(self) -> dict[str, float]:
+        """One-line numeric summary used by benches and examples."""
+        lat = self.latencies()
+        return {
+            "total_cost": self.total_cost(),
+            "violation_ratio": self.violation_ratio(),
+            "invocations": float(len(self.invocations)),
+            "mean_latency": float(lat.mean()) if lat.size else float("nan"),
+            "p99_latency": (
+                float(np.percentile(lat, 99)) if lat.size else float("nan")
+            ),
+            "reinit_fraction": self.reinit_fraction(),
+            "cpu_cost": self.backend_cost(Backend.CPU),
+            "gpu_cost": self.backend_cost(Backend.GPU),
+        }

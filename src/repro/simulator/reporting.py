@@ -1,0 +1,108 @@
+"""Text reports over run metrics.
+
+Formats a :class:`~repro.simulator.metrics.RunMetrics` the way the paper's
+operators would read Grafana: a cost breakdown, a per-function usage table,
+a latency histogram and the violation summary — all plain text, so the CLI,
+examples and logs share one renderer.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.simulator.metrics import RunMetrics
+
+#: Glyph used for histogram bars.
+_BAR = "#"
+
+
+def format_cost_breakdown(metrics: RunMetrics) -> str:
+    """Dollar totals split into initialization / inference / keep-alive."""
+    breakdown = metrics.cost_breakdown()
+    total = metrics.total_cost()
+    lines = [f"total cost ${total:.4f}"]
+    for key in ("init", "inference", "keepalive"):
+        value = breakdown[key]
+        share = value / total if total else 0.0
+        lines.append(f"  {key:<10} ${value:.4f} ({share:.0%})")
+    return "\n".join(lines)
+
+
+def format_function_table(metrics: RunMetrics) -> str:
+    """Per-function fleet summary: instances, billed time, cost, batches."""
+    per_fn: dict[str, dict[str, float]] = defaultdict(
+        lambda: {"instances": 0, "lifetime": 0.0, "cost": 0.0, "served": 0}
+    )
+    for usage in metrics.instances:
+        row = per_fn[usage.function]
+        row["instances"] += 1
+        row["lifetime"] += usage.lifetime
+        row["cost"] += usage.cost
+        row["served"] += usage.invocations_served
+    lines = [
+        f"{'function':<14} {'instances':>9} {'billed':>9} {'cost':>9} {'served':>7}"
+    ]
+    for fn in sorted(per_fn):
+        row = per_fn[fn]
+        lines.append(
+            f"{fn:<14} {int(row['instances']):>9} {row['lifetime']:>8.1f}s "
+            f"${row['cost']:>8.4f} {int(row['served']):>7}"
+        )
+    return "\n".join(lines)
+
+
+def format_latency_histogram(
+    metrics: RunMetrics, *, bins: int = 10, width: int = 40
+) -> str:
+    """ASCII histogram of E2E latencies with the SLA marked."""
+    lat = metrics.latencies()
+    if lat.size == 0:
+        return "(no completed invocations)"
+    edges = np.linspace(0.0, max(float(lat.max()), metrics.sla) * 1.01, bins + 1)
+    counts, _ = np.histogram(lat, bins=edges)
+    peak = max(int(counts.max()), 1)
+    lines = []
+    for k in range(bins):
+        bar = _BAR * int(round(width * counts[k] / peak))
+        marker = " <- SLA" if edges[k] <= metrics.sla < edges[k + 1] else ""
+        lines.append(
+            f"{edges[k]:>6.2f}-{edges[k + 1]:>5.2f}s |{bar:<{width}}| "
+            f"{counts[k]:>4}{marker}"
+        )
+    return "\n".join(lines)
+
+
+def format_report(metrics: RunMetrics) -> str:
+    """The full report: header, cost, fleet table, histogram, violations."""
+    lat = metrics.latencies()
+    header = (
+        f"run report — app={metrics.app} policy={metrics.policy} "
+        f"sla={metrics.sla}s duration={metrics.duration:.0f}s\n"
+        f"invocations: {len(metrics.invocations)} completed, "
+        f"{metrics.unfinished} unfinished, "
+        f"violations {metrics.violation_ratio():.1%}\n"
+        f"latency: mean {lat.mean():.2f}s p50 {np.percentile(lat, 50):.2f}s "
+        f"p99 {np.percentile(lat, 99):.2f}s"
+        if lat.size
+        else f"run report — app={metrics.app} policy={metrics.policy} (no traffic)"
+    )
+    reinits = (
+        f"(re)initializations: {metrics.initializations} "
+        f"({metrics.reinit_fraction():.1%} of stage executions cold"
+        + (
+            f", {metrics.failed_initializations} failed)"
+            if metrics.failed_initializations
+            else ")"
+        )
+    )
+    return "\n\n".join(
+        [
+            header,
+            format_cost_breakdown(metrics),
+            format_function_table(metrics),
+            format_latency_histogram(metrics),
+            reinits,
+        ]
+    )

@@ -1,0 +1,46 @@
+"""Small argument-validation helpers used across the library.
+
+These raise ``ValueError`` with the offending parameter name so errors
+surface at API boundaries rather than deep inside numeric code.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+
+def check_positive(name: str, value: float, *, strict: bool = True) -> float:
+    """Validate that ``value`` is positive (or non-negative if not strict)."""
+    if strict and not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    if not strict and not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_in_range(
+    name: str, value: float, lo: float, hi: float, *, inclusive: bool = True
+) -> float:
+    """Validate ``lo <= value <= hi`` (or strict interior)."""
+    ok = lo <= value <= hi if inclusive else lo < value < hi
+    if not ok:
+        bracket = "[]" if inclusive else "()"
+        raise ValueError(
+            f"{name} must lie in {bracket[0]}{lo}, {hi}{bracket[1]}, got {value!r}"
+        )
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Validate that ``value`` is a probability in [0, 1]."""
+    return check_in_range(name, value, 0.0, 1.0)
+
+
+def check_finite(name: str, values: float | Iterable[float]) -> None:
+    """Validate that a scalar or iterable contains only finite numbers."""
+    if isinstance(values, (int, float)):
+        values = (values,)
+    for v in values:
+        if not math.isfinite(v):
+            raise ValueError(f"{name} contains non-finite value {v!r}")

@@ -1,0 +1,46 @@
+"""Workload substrate: invocation traces and Azure-like trace generation.
+
+The paper drives its evaluation with scaled-down invocation traces from the
+Azure Functions dataset [61] (minute-level counts compressed to 2-second
+intervals).  The dataset is not redistributable here, so
+:mod:`repro.workload.azure` synthesizes traces with the published
+characteristics — diurnal periodicity, bursts, idle gaps, and a
+variance-to-mean ratio above two (§VII-C2).
+"""
+
+from repro.workload.analysis import (
+    BurstEpisode,
+    TraceSummary,
+    burst_episodes,
+    dominant_period,
+    gap_cv,
+    summarize,
+)
+from repro.workload.azure import AzureLikeWorkload, WorkloadPattern
+from repro.workload.generator import (
+    bursty_process,
+    constant_rate_process,
+    gamma_renewal_process,
+    mmpp_process,
+    poisson_process,
+    renewal_process,
+)
+from repro.workload.trace import Trace
+
+__all__ = [
+    "Trace",
+    "poisson_process",
+    "constant_rate_process",
+    "bursty_process",
+    "renewal_process",
+    "gamma_renewal_process",
+    "mmpp_process",
+    "AzureLikeWorkload",
+    "WorkloadPattern",
+    "TraceSummary",
+    "BurstEpisode",
+    "summarize",
+    "gap_cv",
+    "dominant_period",
+    "burst_episodes",
+]

@@ -1,0 +1,198 @@
+"""Arrival-process generators for synthetic invocation workloads.
+
+Primitives used by the Azure-like workload builder and directly by tests:
+homogeneous/nonhomogeneous Poisson processes (thinning), deterministic
+constant-rate arrivals, general renewal processes, and a bursty process that
+superimposes heavy spikes on a Poisson base — the paper's "multiple
+invocations arriving within a short timeframe" regime (§V-B2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive
+from repro.workload.trace import Trace
+
+
+def poisson_process(
+    rate: float,
+    duration: float,
+    rng: int | np.random.Generator | None = None,
+) -> Trace:
+    """Homogeneous Poisson arrivals at ``rate``/s over ``duration`` seconds."""
+    check_positive("rate", rate, strict=False)
+    check_positive("duration", duration)
+    gen = ensure_rng(rng)
+    if rate == 0:
+        return Trace([], duration=duration)
+    n = gen.poisson(rate * duration)
+    return Trace(np.sort(gen.random(n) * duration), duration=duration)
+
+
+def nonhomogeneous_poisson(
+    rate_fn: Callable[[np.ndarray], np.ndarray],
+    duration: float,
+    rate_max: float,
+    rng: int | np.random.Generator | None = None,
+) -> Trace:
+    """Nonhomogeneous Poisson arrivals via thinning.
+
+    ``rate_fn`` maps an array of times to instantaneous rates, all of which
+    must lie below ``rate_max``.
+    """
+    check_positive("duration", duration)
+    check_positive("rate_max", rate_max)
+    gen = ensure_rng(rng)
+    n_candidates = gen.poisson(rate_max * duration)
+    candidates = np.sort(gen.random(n_candidates) * duration)
+    if candidates.size == 0:
+        return Trace([], duration=duration)
+    rates = np.asarray(rate_fn(candidates), dtype=float)
+    if (rates > rate_max + 1e-9).any():
+        raise ValueError("rate_fn exceeds rate_max; thinning would be biased")
+    keep = gen.random(candidates.size) < np.clip(rates, 0.0, None) / rate_max
+    return Trace(candidates[keep], duration=duration)
+
+
+def constant_rate_process(
+    interval: float,
+    duration: float,
+    *,
+    offset: float = 0.0,
+) -> Trace:
+    """Deterministic arrivals every ``interval`` seconds (motivating examples)."""
+    check_positive("interval", interval)
+    check_positive("duration", duration)
+    times = np.arange(offset, duration, interval)
+    return Trace(times, duration=duration)
+
+
+def renewal_process(
+    sampler: Callable[[np.random.Generator], float],
+    duration: float,
+    rng: int | np.random.Generator | None = None,
+) -> Trace:
+    """Renewal arrivals with inter-arrival gaps drawn from ``sampler``."""
+    check_positive("duration", duration)
+    gen = ensure_rng(rng)
+    times: list[float] = []
+    t = 0.0
+    while True:
+        gap = float(sampler(gen))
+        if gap <= 0:
+            raise ValueError(f"sampler returned non-positive gap {gap}")
+        t += gap
+        if t >= duration:
+            break
+        times.append(t)
+    return Trace(times, duration=duration)
+
+
+def mmpp_process(
+    rates: tuple[float, ...],
+    transition_rate: float,
+    duration: float,
+    rng: int | np.random.Generator | None = None,
+) -> Trace:
+    """Markov-modulated Poisson process over hidden rate states.
+
+    A continuous-time Markov chain switches uniformly among ``rates`` with
+    exponential holding times of mean ``1 / transition_rate``; within each
+    state arrivals are Poisson at the state's rate.  The classic model for
+    regime-switching traffic (calm vs busy phases).
+    """
+    if len(rates) < 2:
+        raise ValueError("mmpp needs at least two rate states")
+    for r in rates:
+        check_positive("rate state", r, strict=False)
+    check_positive("transition_rate", transition_rate)
+    check_positive("duration", duration)
+    gen = ensure_rng(rng)
+    times: list[np.ndarray] = []
+    t = 0.0
+    state = int(gen.integers(len(rates)))
+    while t < duration:
+        hold = float(gen.exponential(1.0 / transition_rate))
+        end = min(t + hold, duration)
+        span = end - t
+        if rates[state] > 0 and span > 0:
+            n = gen.poisson(rates[state] * span)
+            times.append(t + np.sort(gen.random(n) * span))
+        # jump to a different state uniformly
+        others = [s for s in range(len(rates)) if s != state]
+        state = others[int(gen.integers(len(others)))]
+        t = end
+    flat = np.concatenate(times) if times else np.empty(0)
+    return Trace(flat, duration=duration)
+
+
+def gamma_renewal_process(
+    mean_gap: float,
+    cv: float,
+    duration: float,
+    rng: int | np.random.Generator | None = None,
+    *,
+    period_drift: float = 0.0,
+    drift_period: float = 600.0,
+) -> Trace:
+    """Near-periodic arrivals: gamma-distributed gaps with coefficient of
+    variation ``cv`` around ``mean_gap``.
+
+    Real Azure Functions traffic is dominated by timer-triggered functions
+    whose inter-arrival times are close to deterministic [61]; this process
+    reproduces that regularity (low ``cv``) with an optional slow sinusoidal
+    drift of the mean gap (``period_drift`` as a relative amplitude).
+    """
+    check_positive("mean_gap", mean_gap)
+    check_positive("cv", cv)
+    check_positive("duration", duration)
+    if not 0.0 <= period_drift < 1.0:
+        raise ValueError(f"period_drift must be in [0, 1), got {period_drift}")
+    gen = ensure_rng(rng)
+    shape = 1.0 / cv**2
+    times: list[float] = []
+    t = 0.0
+    while True:
+        local_mean = mean_gap * (
+            1.0 + period_drift * np.sin(2 * np.pi * t / drift_period)
+        )
+        t += float(gen.gamma(shape, local_mean / shape))
+        if t >= duration:
+            break
+        times.append(t)
+    return Trace(times, duration=duration)
+
+
+def bursty_process(
+    base_rate: float,
+    duration: float,
+    *,
+    burst_rate: float = 10.0,
+    burst_duration: float = 3.0,
+    burst_frequency: float = 1 / 60.0,
+    rng: int | np.random.Generator | None = None,
+) -> Trace:
+    """Poisson base traffic plus Poisson-timed bursts of elevated rate.
+
+    Bursts start as a Poisson process of intensity ``burst_frequency`` and
+    hold ``burst_rate`` for ``burst_duration`` seconds, producing the wide
+    fluctuations sampled in the paper's 60-second burst window (Fig. 14).
+    """
+    check_positive("base_rate", base_rate, strict=False)
+    check_positive("burst_rate", burst_rate)
+    gen = ensure_rng(rng)
+    base = poisson_process(base_rate, duration, gen)
+    n_bursts = gen.poisson(burst_frequency * duration)
+    starts = np.sort(gen.random(n_bursts) * duration)
+    pieces = [base.times]
+    for s in starts:
+        span = min(burst_duration, duration - s)
+        if span <= 0:
+            continue
+        n = gen.poisson(burst_rate * span)
+        pieces.append(s + np.sort(gen.random(n) * span))
+    return Trace(np.concatenate(pieces), duration=duration)

@@ -1,0 +1,127 @@
+"""Unit tests for baseline-policy internals (fast, no full traces)."""
+
+import numpy as np
+import pytest
+
+from repro.dag import image_query, voice_assistant
+from repro.hardware import Backend, ConfigurationSpace, HardwareConfig
+from repro.policies import (
+    AquatopePolicy,
+    GrandSLAmPolicy,
+    IceBreakerPolicy,
+    OptimalPolicy,
+)
+from repro.profiler import oracle_profile
+from repro.workload import Trace, gamma_renewal_process
+
+
+@pytest.fixture(scope="module")
+def app():
+    return image_query()
+
+
+@pytest.fixture(scope="module")
+def profiles(app):
+    return {s.name: oracle_profile(s.profile, n_sigma=1.0) for s in app.specs}
+
+
+class TestGrandSLAmUnits:
+    def test_budget_shares_proportional_to_reference(self, app, profiles):
+        policy = GrandSLAmPolicy(profiles)
+        budgets = policy.stage_budgets(app)
+        ref = {
+            fn: profiles[fn].inference_time(policy.reference)
+            for fn in app.function_names
+        }
+        # heavier stages get larger budgets
+        order_budget = sorted(app.function_names, key=budgets.get)
+        order_ref = sorted(app.function_names, key=ref.get)
+        assert order_budget == order_ref
+
+    def test_choose_config_cheapest_within_budget(self, app, profiles):
+        policy = GrandSLAmPolicy(profiles)
+        cfg = policy.choose_config("TG", budget=1.0)
+        assert profiles["TG"].inference_time(cfg) <= 1.0
+        cheaper = [
+            c
+            for c in policy.space
+            if c.unit_cost < cfg.unit_cost
+        ]
+        assert all(profiles["TG"].inference_time(c) > 1.0 for c in cheaper)
+
+    def test_choose_config_falls_back_to_fastest(self, app, profiles):
+        policy = GrandSLAmPolicy(profiles)
+        cfg = policy.choose_config("TG", budget=1e-6)
+        fastest = min(
+            (profiles["TG"].inference_time(c) for c in policy.space)
+        )
+        assert profiles["TG"].inference_time(cfg) == pytest.approx(fastest)
+
+
+class TestIceBreakerUnits:
+    def test_best_in_prefers_efficiency_within_target(self, app, profiles):
+        policy = IceBreakerPolicy(profiles)
+        cpu_space = ConfigurationSpace(gpu_fractions=())
+        cfg = policy._best_in("TG", cpu_space, target=2.0)
+        assert cfg.backend is Backend.CPU
+        assert profiles["TG"].inference_time(cfg) <= 2.0
+
+    def test_best_in_falls_back_to_fastest(self, app, profiles):
+        policy = IceBreakerPolicy(profiles)
+        cpu_space = ConfigurationSpace(gpu_fractions=())
+        cfg = policy._best_in("TG", cpu_space, target=1e-6)
+        assert cfg == HardwareConfig.cpu(16)
+
+    def test_choose_config_respects_latency_target(self, app, profiles):
+        policy = IceBreakerPolicy(profiles)
+        cfg = policy.choose_config("TG", latency_target=0.5)
+        assert profiles["TG"].inference_time(cfg) <= 0.5
+
+
+class TestAquatopeUnits:
+    def test_decode_maps_unit_box_to_configs(self, app, profiles):
+        policy = AquatopePolicy(profiles)
+        fns = app.function_names
+        low = policy._decode(np.zeros(len(fns)), fns)
+        high = policy._decode(np.full(len(fns), 0.999), fns)
+        space = policy.space
+        assert all(cfg == space.cheapest() for cfg in low.values())
+        assert all(cfg == space.most_expensive() for cfg in high.values())
+
+    def test_tune_deterministic_given_seed(self, app, profiles):
+        a = AquatopePolicy(profiles, n_iter=5, seed=9).tune(app)
+        b = AquatopePolicy(profiles, n_iter=5, seed=9).tune(app)
+        assert a == b
+
+
+class TestOptimalUnits:
+    def test_true_mean_it_matches_trace(self, profiles):
+        trace = gamma_renewal_process(6.0, 0.05, 600.0, rng=0)
+        policy = OptimalPolicy(profiles, trace)
+        assert policy._true_mean_it() == pytest.approx(6.0, rel=0.15)
+
+    def test_plan_assignment_small_app_is_exact(self, app, profiles):
+        from repro.core.path_search import ExhaustiveSearch
+        from repro.hardware import ConfigurationSpace
+
+        trace = gamma_renewal_process(6.0, 0.05, 300.0, rng=1)
+        policy = OptimalPolicy(profiles, trace)
+        assignment = policy.plan_assignment(app)
+        exact = ExhaustiveSearch(ConfigurationSpace.default()).optimize_app(
+            app.with_sla(app.sla * 0.9), profiles, policy._true_mean_it()
+        )
+        assert assignment == exact.assignment
+
+    def test_path_based_plan_for_larger_app(self):
+        app = voice_assistant()  # 5 functions: above the enumeration limit
+        profiles = {
+            s.name: oracle_profile(s.profile, n_sigma=1.0) for s in app.specs
+        }
+        trace = gamma_renewal_process(5.0, 0.05, 300.0, rng=2)
+        policy = OptimalPolicy(profiles, trace)
+        assignment = policy.plan_assignment(app)
+        assert set(assignment) == set(app.function_names)
+
+    def test_empty_trace_defaults(self, profiles):
+        policy = OptimalPolicy(profiles, Trace([], duration=10.0))
+        assert policy._true_mean_it() == 10.0

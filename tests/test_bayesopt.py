@@ -1,0 +1,117 @@
+"""Tests for the Gaussian-process Bayesian optimization substrate."""
+
+import numpy as np
+import pytest
+
+from repro.bayesopt import BayesianOptimizer, GaussianProcess, rbf_kernel
+from repro.bayesopt.bo import expected_improvement
+
+
+class TestKernel:
+    def test_diagonal_is_one(self):
+        x = np.random.default_rng(0).random((5, 2))
+        K = rbf_kernel(x, x, 0.5)
+        np.testing.assert_allclose(np.diag(K), 1.0)
+
+    def test_symmetry(self):
+        x = np.random.default_rng(1).random((4, 3))
+        K = rbf_kernel(x, x, 0.3)
+        np.testing.assert_allclose(K, K.T)
+
+    def test_decays_with_distance(self):
+        a = np.array([[0.0]])
+        b = np.array([[0.1], [1.0], [3.0]])
+        K = rbf_kernel(a, b, 0.5)[0]
+        assert K[0] > K[1] > K[2]
+
+    def test_rejects_bad_length_scale(self):
+        with pytest.raises(ValueError):
+            rbf_kernel(np.zeros((1, 1)), np.zeros((1, 1)), 0.0)
+
+
+class TestGaussianProcess:
+    def test_interpolates_training_points(self):
+        rng = np.random.default_rng(0)
+        X = rng.random((10, 1))
+        y = np.sin(4 * X[:, 0])
+        gp = GaussianProcess(length_scale=0.3, noise=1e-6).fit(X, y)
+        mean, std = gp.predict(X)
+        np.testing.assert_allclose(mean, y, atol=1e-3)
+        assert (std < 0.05).all()
+
+    def test_uncertainty_grows_away_from_data(self):
+        X = np.array([[0.2], [0.3]])
+        gp = GaussianProcess(length_scale=0.1).fit(X, np.array([1.0, 2.0]))
+        _, std_near = gp.predict(np.array([[0.25]]))
+        _, std_far = gp.predict(np.array([[0.9]]))
+        assert std_far[0] > std_near[0]
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            GaussianProcess().predict(np.zeros((1, 1)))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            GaussianProcess().fit(np.zeros((3, 1)), np.zeros(2))
+
+    def test_constant_targets_handled(self):
+        gp = GaussianProcess().fit(np.array([[0.1], [0.9]]), np.array([5.0, 5.0]))
+        mean, _ = gp.predict(np.array([[0.5]]))
+        assert mean[0] == pytest.approx(5.0, abs=0.1)
+
+
+class TestExpectedImprovement:
+    def test_nonnegative(self):
+        mean = np.array([1.0, 0.5, 2.0])
+        std = np.array([0.1, 0.5, 0.01])
+        ei = expected_improvement(mean, std, best=1.0)
+        assert (ei >= 0).all()
+
+    def test_prefers_lower_mean(self):
+        std = np.array([0.2, 0.2])
+        ei = expected_improvement(np.array([0.5, 1.5]), std, best=1.0)
+        assert ei[0] > ei[1]
+
+    def test_prefers_higher_uncertainty_at_same_mean(self):
+        mean = np.array([1.0, 1.0])
+        ei = expected_improvement(mean, np.array([0.5, 0.01]), best=1.0)
+        assert ei[0] > ei[1]
+
+
+class TestBayesianOptimizer:
+    def test_minimizes_quadratic_bowl(self):
+        target = np.array([0.3, 0.7])
+
+        def objective(x):
+            return float(((x - target) ** 2).sum())
+
+        result = BayesianOptimizer(dim=2, seed=0).minimize(objective, n_iter=30)
+        assert result.best_y < 0.02
+        np.testing.assert_allclose(result.best_x, target, atol=0.15)
+
+    def test_beats_random_search_on_budget(self):
+        rng = np.random.default_rng(1)
+        target = np.array([0.25, 0.6, 0.8])
+
+        def objective(x):
+            return float(((np.asarray(x) - target) ** 2).sum())
+
+        bo = BayesianOptimizer(dim=3, n_initial=8, seed=2).minimize(
+            objective, n_iter=30
+        )
+        random_best = min(objective(rng.random(3)) for _ in range(38))
+        assert bo.best_y <= random_best * 1.5
+
+    def test_records_all_evaluations(self):
+        result = BayesianOptimizer(dim=1, n_initial=4, seed=0).minimize(
+            lambda x: float(x[0]), n_iter=6
+        )
+        assert result.xs.shape == (10, 1)
+        assert result.ys.shape == (10,)
+        assert result.best_y == result.ys.min()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BayesianOptimizer(dim=0)
+        with pytest.raises(ValueError):
+            BayesianOptimizer(dim=1).minimize(lambda x: 0.0, n_iter=0)

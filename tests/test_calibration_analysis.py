@@ -1,0 +1,186 @@
+"""Tests for the calibration API, cost-curve analysis, and MMPP workloads."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import (
+    config_frontier,
+    cost_vs_inter_arrival,
+    regime_boundary,
+    sla_cost_curve,
+)
+from repro.core.prewarming import ColdStartPolicy
+from repro.dag import image_query
+from repro.dag.models import get_profile
+from repro.hardware import ConfigurationSpace, HardwareConfig
+from repro.hardware.calibration import (
+    CalibrationResult,
+    Measurement,
+    init_params_from_samples,
+    latency_params_from_measurements,
+    profile_from_measurements,
+    speedup_curve,
+)
+from repro.profiler import oracle_profile
+from repro.workload import mmpp_process
+
+
+def synthetic_measurements(alpha, beta, gamma, resources, batches, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    out = []
+    for r in resources:
+        for b in batches:
+            t = b * (alpha / r + beta) + gamma
+            if noise:
+                t *= float(rng.lognormal(0.0, noise))
+            out.append(Measurement(resources=r, batch=b, seconds=t))
+    return out
+
+
+class TestCalibration:
+    def test_recovers_known_law(self):
+        ms = synthetic_measurements(2.0, 0.1, 0.05, (1, 2, 4, 8), (1, 2, 4))
+        result = latency_params_from_measurements(ms)
+        assert isinstance(result, CalibrationResult)
+        assert result.params.alpha == pytest.approx(2.0, rel=1e-4)
+        assert result.params.beta == pytest.approx(0.1, rel=1e-3)
+        assert result.params.gamma == pytest.approx(0.05, rel=1e-3)
+        assert result.smape_percent < 0.1
+        assert result.n_measurements == 12
+
+    def test_needs_three_measurements(self):
+        ms = synthetic_measurements(1.0, 0.1, 0.0, (1,), (1, 2))
+        with pytest.raises(ValueError, match="3 measurements"):
+            latency_params_from_measurements(ms)
+
+    def test_measurement_validation(self):
+        with pytest.raises(ValueError):
+            Measurement(resources=0.0, batch=1, seconds=1.0)
+        with pytest.raises(ValueError):
+            Measurement(resources=1.0, batch=1, seconds=-1.0)
+
+    def test_init_params_from_samples(self):
+        params = init_params_from_samples([2.0, 2.2, 1.8])
+        assert params.mean == pytest.approx(2.0)
+        assert params.std > 0
+
+    def test_init_params_validation(self):
+        with pytest.raises(ValueError):
+            init_params_from_samples([1.0])
+        with pytest.raises(ValueError):
+            init_params_from_samples([1.0, -1.0])
+
+    def test_profile_from_measurements_end_to_end(self):
+        cpu_ms = synthetic_measurements(2.0, 0.1, 0.02, (1, 4, 16), (1, 4), noise=0.02)
+        gpu_ms = synthetic_measurements(0.05, 0.01, 0.02, (0.1, 0.5, 1.0), (1, 4), noise=0.02)
+        profile = profile_from_measurements(
+            "custom", cpu_ms, gpu_ms, [2.0, 2.1, 1.9], [6.0, 6.5, 5.5]
+        )
+        assert profile.name == "custom"
+        # the resulting profile plugs straight into the optimizer machinery
+        fp = oracle_profile(profile, n_sigma=1.0)
+        assert fp.inference_time(HardwareConfig.cpu(4)) > 0
+        assert fp.init_time(HardwareConfig.gpu(0.1)) > 5.0
+
+    def test_profile_rejects_lawless_measurements(self):
+        rng = np.random.default_rng(1)
+        bad = [
+            Measurement(r, b, float(rng.uniform(0.1, 5.0)))
+            for r in (1, 2, 4)
+            for b in (1, 2, 4)
+        ]
+        good = synthetic_measurements(0.05, 0.01, 0.02, (0.1, 0.5, 1.0), (1, 4))
+        with pytest.raises(ValueError, match="SMAPE"):
+            profile_from_measurements(
+                "junk", bad, good, [2.0, 2.1], [6.0, 6.1], max_smape=10.0
+            )
+
+    def test_speedup_curve(self):
+        result = latency_params_from_measurements(
+            synthetic_measurements(2.0, 0.1, 0.0, (1, 2, 4, 8), (1,))
+        )
+        rows = speedup_curve(result.params, [1, 2, 4, 8])
+        assert rows[0][2] == pytest.approx(1.0)
+        speedups = [s for _, _, s in rows]
+        assert speedups == sorted(speedups)
+
+    def test_speedup_curve_empty(self):
+        result = latency_params_from_measurements(
+            synthetic_measurements(2.0, 0.1, 0.0, (1, 2), (1, 2))
+        )
+        with pytest.raises(ValueError):
+            speedup_curve(result.params, [])
+
+
+class TestCostAnalysis:
+    @pytest.fixture
+    def profile(self):
+        return oracle_profile(get_profile("TG"), n_sigma=1.0)
+
+    def test_regime_boundary(self, profile):
+        cfg = HardwareConfig.cpu(8)
+        boundary = regime_boundary(profile, cfg)
+        assert boundary == pytest.approx(
+            profile.init_time(cfg) + profile.inference_time(cfg)
+        )
+
+    def test_cost_curve_crosses_boundary(self, profile):
+        cfg = HardwareConfig.cpu(8)
+        boundary = regime_boundary(profile, cfg)
+        points = cost_vs_inter_arrival(
+            profile, cfg, [boundary * f for f in (0.3, 0.8, 1.2, 3.0)]
+        )
+        assert points[0].policy is ColdStartPolicy.KEEP_ALIVE
+        assert points[-1].policy is ColdStartPolicy.PREWARM
+        # pre-warm cost is flat in IT; keep-alive cost grows with IT
+        assert points[2].cost == pytest.approx(points[3].cost)
+        assert points[0].cost < points[1].cost
+
+    def test_cost_curve_validation(self, profile):
+        with pytest.raises(ValueError):
+            cost_vs_inter_arrival(profile, HardwareConfig.cpu(1), [])
+
+    def test_frontier_marks_dominated_points(self, profile):
+        points = config_frontier(profile, ConfigurationSpace.default(), 5.0)
+        assert len(points) == 15
+        non_dominated = [p for p in points if not p.dominated]
+        assert 1 <= len(non_dominated) < len(points)
+        # the frontier is monotone: faster non-dominated points cost more
+        lat = [p.inference_time for p in non_dominated]
+        cost = [p.cost for p in non_dominated]
+        assert lat == sorted(lat)
+        assert cost == sorted(cost, reverse=True)
+
+    def test_sla_cost_curve_monotone(self):
+        app = image_query()
+        profiles = {
+            s.name: oracle_profile(s.profile, n_sigma=1.0) for s in app.specs
+        }
+        rows = sla_cost_curve(app, profiles, 5.0, [0.5, 1.0, 2.0, 4.0])
+        assert all(f for _, _, f in rows)  # all feasible with GPUs available
+        costs = [c for _, c, _ in rows]
+        assert costs[0] >= costs[-1]
+
+
+class TestMmpp:
+    def test_rate_between_states(self):
+        t = mmpp_process((0.2, 2.0), transition_rate=0.05, duration=4000.0, rng=0)
+        assert 0.2 < t.rate < 2.0
+
+    def test_more_bursty_than_poisson(self):
+        from repro.workload import poisson_process
+
+        mmpp = mmpp_process((0.1, 3.0), 0.05, 3000.0, rng=1)
+        pois = poisson_process(mmpp.rate, 3000.0, rng=1)
+        assert mmpp.variance_to_mean_ratio() > pois.variance_to_mean_ratio()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mmpp_process((1.0,), 0.1, 10.0)
+        with pytest.raises(ValueError):
+            mmpp_process((1.0, 2.0), 0.0, 10.0)
+
+    def test_deterministic(self):
+        a = mmpp_process((0.5, 2.0), 0.1, 500.0, rng=7)
+        b = mmpp_process((0.5, 2.0), 0.1, 500.0, rng=7)
+        assert a == b

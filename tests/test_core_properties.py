@@ -1,0 +1,138 @@
+"""Property-based tests for the Workflow Manager and Auto-scaler.
+
+Randomized DAGs and parameters probe the optimizer's contracts:
+
+- whenever the exhaustive search finds a feasible assignment, the Workflow
+  Manager's strategy is feasible too, and never cheaper than the optimum;
+- scaling decisions always cover the predicted demand within the budget;
+- candidate orderings and plan evaluation agree with first principles.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AutoScaler, ExhaustiveSearch, WorkflowManager
+from repro.core.path_search import build_candidates
+from repro.core.prewarming import evaluate_assignment
+from repro.dag import random_dag
+from repro.dag.models import model_names
+from repro.hardware import ConfigurationSpace
+from repro.profiler import oracle_profile
+
+SPACE = ConfigurationSpace.default()
+SMALL_SPACE = ConfigurationSpace(cpu_cores=(1, 4, 16), gpu_fractions=(0.1, 0.5))
+
+
+def oracle_profiles(app):
+    return {s.name: oracle_profile(s.profile, n_sigma=1.0) for s in app.specs}
+
+
+class TestWorkflowProperties:
+    @given(
+        n=st.integers(2, 4),
+        seed=st.integers(0, 60),
+        it=st.sampled_from([1.0, 4.0, 20.0]),
+        sla=st.sampled_from([0.5, 1.0, 2.0, 5.0]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_feasible_whenever_optimum_is(self, n, seed, it, sla):
+        app = random_dag(n, rng=seed, sla=sla)
+        profiles = oracle_profiles(app)
+        opt = ExhaustiveSearch(SMALL_SPACE).optimize_app(app, profiles, it)
+        strategy = WorkflowManager(SMALL_SPACE).optimize(app, profiles, it)
+        if opt.feasible:
+            assert strategy.feasible
+            # the optimum is a lower bound
+            assert strategy.cost >= opt.cost - 1e-15
+        else:
+            assert not strategy.feasible
+
+    @given(n=st.integers(2, 5), seed=st.integers(0, 60))
+    @settings(max_examples=15, deadline=None)
+    def test_strategy_self_consistent(self, n, seed):
+        app = random_dag(n, rng=seed, sla=3.0)
+        profiles = oracle_profiles(app)
+        strategy = WorkflowManager(SMALL_SPACE).optimize(app, profiles, 5.0)
+        ev = evaluate_assignment(app, strategy.assignment, profiles, 5.0)
+        assert strategy.latency == pytest.approx(ev.latency)
+        assert strategy.cost == pytest.approx(ev.cost)
+
+    @given(n=st.integers(2, 4), seed=st.integers(0, 40))
+    @settings(max_examples=10, deadline=None)
+    def test_candidates_cover_space(self, n, seed):
+        app = random_dag(n, rng=seed)
+        profiles = oracle_profiles(app)
+        cands = build_candidates(app.function_names, profiles, SPACE, 5.0)
+        for fn, lst in cands.items():
+            assert len(lst) == len(SPACE)
+            costs = [c.cost for c in lst]
+            assert costs == sorted(costs)
+
+
+class TestAutoscalerProperties:
+    @given(
+        model=st.sampled_from(model_names()),
+        g=st.integers(1, 64),
+        it=st.sampled_from([0.5, 1.0, 3.0]),
+        budget=st.sampled_from([0.2, 0.5, 1.0, 3.0]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_decision_covers_demand_within_budget(self, model, g, it, budget):
+        from repro.dag.models import get_profile
+
+        profile = oracle_profile(get_profile(model), n_sigma=1.0)
+        scaler = AutoScaler(SPACE)
+        decision = scaler.plan(model, profile, g, it, budget)
+        assert decision.batch * decision.instances >= g
+        assert decision.batch >= 1 and decision.instances >= 1
+        if decision.feasible:
+            assert decision.inference_time <= budget + 1e-9
+            # batch maximality: one more item would blow the budget, unless
+            # demand itself capped the batch
+            if decision.batch < g:
+                assert (
+                    profile.inference_time(decision.config, decision.batch + 1)
+                    > budget
+                )
+
+    @given(
+        model=st.sampled_from(model_names()),
+        g=st.integers(2, 32),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_infeasible_budget_scales_out_fastest(self, model, g):
+        from repro.dag.models import get_profile
+
+        profile = oracle_profile(get_profile(model), n_sigma=1.0)
+        scaler = AutoScaler(SPACE)
+        decision = scaler.plan(model, profile, g, 1.0, budget=1e-4)
+        assert not decision.feasible
+        assert decision.instances == g
+        fastest = min(
+            (profile.inference_time(c) for c in SPACE),
+        )
+        assert decision.inference_time == pytest.approx(fastest)
+
+    @given(
+        model=st.sampled_from(model_names()),
+        g=st.integers(1, 32),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_max_init_filter_respected_when_possible(self, model, g):
+        from repro.dag.models import get_profile
+
+        profile = oracle_profile(get_profile(model), n_sigma=1.0)
+        scaler = AutoScaler(SPACE)
+        budget = 2.0
+        limit = 4.0
+        decision = scaler.plan(
+            model, profile, g, 1.0, budget, max_init_time=limit
+        )
+        quick_exists = any(
+            profile.init_time(c) <= limit
+            and scaler.max_feasible_batch(profile, c, budget) > 0
+            for c in SPACE
+        )
+        if quick_exists and decision.feasible:
+            assert profile.init_time(decision.config) <= limit

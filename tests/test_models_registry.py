@@ -1,0 +1,86 @@
+"""Tests for the Table I model registry and its calibration targets."""
+
+import pytest
+
+from repro.dag.models import MODEL_REGISTRY, get_model, get_profile, model_names
+from repro.hardware import HardwareConfig
+
+EXPECTED_MODELS = {
+    "IR", "FR", "HAP", "DB", "NER", "TM", "TRS", "TG", "SR", "TTS", "OD", "QA",
+}
+
+
+class TestRegistry:
+    def test_all_twelve_models_present(self):
+        assert set(model_names()) == EXPECTED_MODELS
+
+    def test_get_model_fields_match_table1(self):
+        ir = get_model("IR")
+        assert ir.architecture == "ResNet50"
+        assert ir.dataset == "ImageNet"
+        od = get_model("OD")
+        assert od.architecture == "YOLOv5"
+        assert od.dataset == "COCO"
+        assert get_model("QA").architecture == "Roberta"
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError, match="unknown model"):
+            get_model("LLAMA")
+
+    def test_profiles_have_consistent_name(self):
+        for name, info in MODEL_REGISTRY.items():
+            assert info.profile.name == name
+
+    def test_fields_cover_table1_categories(self):
+        fields = {m.field for m in MODEL_REGISTRY.values()}
+        assert {
+            "Image Classification",
+            "Language Modeling",
+            "Text Generation",
+            "Audio Processing",
+            "Object Detection",
+            "Question Answering",
+        } <= fields
+
+
+class TestCalibration:
+    """The registry must reproduce the hardware trade-offs of Fig. 2 / §II-B."""
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_MODELS))
+    def test_gpu_warm_faster_than_cpu_warm(self, name):
+        p = get_profile(name)
+        cpu16 = p.expected_inference_time(HardwareConfig.cpu(16))
+        gpu = p.expected_inference_time(HardwareConfig.gpu(1.0))
+        assert gpu < cpu16
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_MODELS))
+    def test_gpu_init_slower_than_cpu_init(self, name):
+        p = get_profile(name)
+        assert p.init_gpu.mean > p.init_cpu.mean
+
+    def test_trs_gpu_speedup_near_10x(self):
+        p = get_profile("TRS")
+        cpu16 = p.expected_inference_time(HardwareConfig.cpu(16))
+        gpu = p.expected_inference_time(HardwareConfig.gpu(1.0))
+        assert 7.0 <= cpu16 / gpu <= 13.0
+
+    @pytest.mark.parametrize("name", ["HAP", "TG", "TRS"])
+    def test_fig2_cold_start_inverts_advantage(self, name):
+        """On a cold start the GPU loses its edge for the Fig. 2 models."""
+        p = get_profile(name)
+        cpu16, gpu = HardwareConfig.cpu(16), HardwareConfig.gpu(1.0)
+        warm_gpu = p.expected_inference_time(gpu)
+        warm_cpu = p.expected_inference_time(cpu16)
+        cold_gpu = p.expected_init_time(gpu) + warm_gpu
+        cold_cpu = p.expected_init_time(cpu16) + warm_cpu
+        assert warm_gpu < warm_cpu
+        assert cold_gpu > cold_cpu
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_MODELS))
+    def test_batch_sizes_sane(self, name):
+        p = get_profile(name)
+        assert 1 <= p.min_batch <= p.max_batch
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_MODELS))
+    def test_memory_knee_positive(self, name):
+        assert get_profile(name).mem_knee_gb > 0

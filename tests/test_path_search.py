@@ -1,0 +1,183 @@
+"""Tests for the top-K path search and the reference searches (§V-C)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.path_search import (
+    DpSearch,
+    ExhaustiveSearch,
+    PathSearchOptimizer,
+    build_candidates,
+)
+from repro.dag import image_query, linear_pipeline
+from repro.hardware import ConfigurationSpace
+from repro.profiler import oracle_profile
+
+
+def make_setup(length=3, models=None):
+    app = linear_pipeline(length, models=models)
+    profiles = {s.name: oracle_profile(s.profile, n_sigma=1.0) for s in app.specs}
+    return app, profiles
+
+
+SPACE = ConfigurationSpace.default()
+
+
+class TestCandidates:
+    def test_sorted_by_cost(self):
+        app, profiles = make_setup(2)
+        cands = build_candidates(app.function_names, profiles, SPACE, 5.0)
+        for fn, lst in cands.items():
+            costs = [c.cost for c in lst]
+            assert costs == sorted(costs)
+            assert len(lst) == len(SPACE)
+
+    def test_cpu_only_space_restricts(self):
+        app, profiles = make_setup(2)
+        cands = build_candidates(
+            app.function_names, profiles, ConfigurationSpace.cpu_only(), 5.0
+        )
+        assert all(len(lst) == 5 for lst in cands.values())
+
+    def test_invalid_it(self):
+        app, profiles = make_setup(1)
+        with pytest.raises(ValueError):
+            build_candidates(app.function_names, profiles, SPACE, 0.0)
+
+
+class TestTop1:
+    def test_lenient_sla_picks_all_cheapest(self):
+        """With a loose SLA the root node T^0 wins immediately (§V-C1)."""
+        app, profiles = make_setup(3)
+        opt = PathSearchOptimizer(SPACE)
+        res = opt.optimize_path(app.function_names, profiles, 5.0, sla=60.0)
+        cands = build_candidates(app.function_names, profiles, SPACE, 5.0)
+        for fn in app.function_names:
+            assert res.assignment[fn] == cands[fn][0].config
+        assert res.feasible
+        assert res.nodes_explored == 1
+
+    def test_tight_sla_is_feasible(self):
+        app, profiles = make_setup(4, models=("TRS", "TG", "SR", "OD"))
+        opt = PathSearchOptimizer(SPACE)
+        res = opt.optimize_path(app.function_names, profiles, 2.0, sla=2.5)
+        assert res.feasible
+        assert res.latency <= 2.5
+
+    def test_impossible_sla_returns_fastest_infeasible(self):
+        app, profiles = make_setup(3, models=("TRS", "TG", "SR"))
+        opt = PathSearchOptimizer(SPACE)
+        res = opt.optimize_path(app.function_names, profiles, 2.0, sla=0.01)
+        assert not res.feasible
+        # each function runs its minimum-latency configuration
+        cands = build_candidates(app.function_names, profiles, SPACE, 2.0)
+        for fn in app.function_names:
+            fastest = min(cands[fn], key=lambda c: c.inference_time)
+            assert res.assignment[fn] == fastest.config
+
+    def test_stricter_sla_never_cheaper_for_exact_search(self):
+        """Tightening the SLA can only raise the *optimal* cost."""
+        app, profiles = make_setup(3, models=("TRS", "SR", "OD"))
+        opt = ExhaustiveSearch(SPACE)
+        costs = []
+        for sla in (6.0, 4.0, 3.0, 2.0, 1.5):
+            res = opt.optimize_path(app.function_names, profiles, 3.0, sla=sla)
+            assert res.feasible
+            costs.append(res.cost)
+        assert all(later >= earlier - 1e-12 for earlier, later in zip(costs, costs[1:]))
+
+    def test_empty_path_raises(self):
+        _, profiles = make_setup(1)
+        with pytest.raises(ValueError):
+            PathSearchOptimizer(SPACE).optimize_path([], profiles, 1.0, 1.0)
+
+    def test_nodes_explored_linear_in_path(self):
+        """Fig. 16a: overhead grows ~linearly with the longest path."""
+        opt = PathSearchOptimizer(SPACE)
+        nodes = []
+        for n in (2, 6, 12):
+            app, profiles = make_setup(n)
+            res = opt.optimize_path(app.function_names, profiles, 1.5, sla=2.0)
+            nodes.append(res.nodes_explored)
+        # O(N * M) bound: never more than path length x space size nodes
+        assert nodes[2] <= 12 * len(SPACE) + 1
+        assert nodes[0] < nodes[1] < nodes[2]
+
+
+class TestAgainstExhaustive:
+    @pytest.mark.parametrize("sla", [1.5, 2.0, 3.0, 6.0])
+    def test_top1_feasible_whenever_exhaustive_is(self, sla):
+        app, profiles = make_setup(3, models=("TRS", "SR", "QA"))
+        greedy = PathSearchOptimizer(SPACE).optimize_path(
+            app.function_names, profiles, 2.0, sla=sla
+        )
+        exact = ExhaustiveSearch(SPACE).optimize_path(
+            app.function_names, profiles, 2.0, sla=sla
+        )
+        assert greedy.feasible == exact.feasible
+        if exact.feasible:
+            assert greedy.cost >= exact.cost - 1e-15  # exact is a lower bound
+
+    def test_topk_at_least_as_good_as_top1(self):
+        app, profiles = make_setup(4, models=("TRS", "TG", "SR", "OD"))
+        top1 = PathSearchOptimizer(SPACE, top_k=1).optimize_path(
+            app.function_names, profiles, 2.0, sla=2.5
+        )
+        top8 = PathSearchOptimizer(SPACE, top_k=8).optimize_path(
+            app.function_names, profiles, 2.0, sla=2.5
+        )
+        assert top8.feasible
+        assert top8.cost <= top1.cost + 1e-15
+
+    def test_large_topk_matches_exhaustive(self):
+        app, profiles = make_setup(3, models=("TRS", "SR", "QA"))
+        beam = PathSearchOptimizer(SPACE, top_k=len(SPACE) ** 3).optimize_path(
+            app.function_names, profiles, 2.0, sla=2.5
+        )
+        exact = ExhaustiveSearch(SPACE).optimize_path(
+            app.function_names, profiles, 2.0, sla=2.5
+        )
+        assert beam.cost == pytest.approx(exact.cost)
+
+    def test_dp_close_to_exhaustive(self):
+        app, profiles = make_setup(3, models=("TRS", "SR", "QA"))
+        dp = DpSearch(SPACE, n_bins=400).optimize_path(
+            app.function_names, profiles, 2.0, sla=2.5
+        )
+        exact = ExhaustiveSearch(SPACE).optimize_path(
+            app.function_names, profiles, 2.0, sla=2.5
+        )
+        assert dp.feasible
+        # DP rounds latency up, so cost is within a small factor of exact
+        assert dp.cost <= exact.cost * 1.25 + 1e-12
+
+    @given(
+        sla=st.floats(1.2, 8.0),
+        it=st.floats(0.5, 30.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_greedy_always_sla_compliant_when_feasible(self, sla, it):
+        app, profiles = make_setup(3, models=("TRS", "SR", "QA"))
+        res = PathSearchOptimizer(SPACE).optimize_path(
+            app.function_names, profiles, it, sla=sla
+        )
+        if res.feasible:
+            assert res.latency <= sla + 1e-9
+
+
+class TestExhaustiveApp:
+    def test_dag_optimum_uses_critical_path(self):
+        app = image_query()
+        profiles = {
+            s.name: oracle_profile(s.profile, n_sigma=1.0) for s in app.specs
+        }
+        res = ExhaustiveSearch(SPACE).optimize_app(app, profiles, 5.0)
+        assert res.feasible
+        assert res.latency <= app.sla
+        # parallel branches share the fork latency: cheaper than summing
+        # over the chain of all four functions
+        chain_like = ExhaustiveSearch(SPACE).optimize_path(
+            app.function_names, profiles, 5.0, sla=app.sla
+        )
+        assert res.cost <= chain_like.cost + 1e-15

@@ -1,0 +1,166 @@
+"""Tests for adaptive cold-start management (Eq. 3/5, §V-B)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ColdStartPolicy,
+    FunctionPlan,
+    cost_per_invocation,
+    evaluate_assignment,
+    policy_for,
+    prewarm_window,
+)
+from repro.dag import image_query
+from repro.hardware import HardwareConfig
+from repro.profiler import oracle_profile
+
+
+class TestPolicySelection:
+    def test_prewarm_when_cycle_fits(self):
+        # T + I < IT -> Case I
+        assert policy_for(2.0, 1.0, 4.0) is ColdStartPolicy.PREWARM
+
+    def test_keepalive_when_cycle_does_not_fit(self):
+        # T + I >= IT -> Case II
+        assert policy_for(2.0, 2.0, 4.0) is ColdStartPolicy.KEEP_ALIVE
+        assert policy_for(3.0, 2.0, 4.0) is ColdStartPolicy.KEEP_ALIVE
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            policy_for(-1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            policy_for(1.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            policy_for(1.0, 1.0, 0.0)
+
+
+class TestPrewarmWindow:
+    def test_window_size_case1(self):
+        # Fig. 5a: window = IT - T - I
+        assert prewarm_window(2.0, 1.0, 5.0) == pytest.approx(2.0)
+
+    def test_window_zero_case2(self):
+        # Fig. 5b: no idle window under keep-alive
+        assert prewarm_window(3.0, 2.0, 4.0) == 0.0
+
+    @given(
+        t=st.floats(0.1, 10.0),
+        i=st.floats(0.1, 10.0),
+        it=st.floats(0.2, 50.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_window_nonnegative_and_consistent(self, t, i, it):
+        w = prewarm_window(t, i, it)
+        assert w >= 0.0
+        if w > 0:
+            assert policy_for(t, i, it) is ColdStartPolicy.PREWARM
+            assert w == pytest.approx(it - t - i)
+
+
+class TestCost:
+    def test_prewarm_cost_is_cycle_cost(self):
+        # Eq. (5): C = (T + I) * U
+        assert cost_per_invocation(2.0, 1.0, 10.0, 0.01) == pytest.approx(0.03)
+
+    def test_keepalive_cost_is_it_cost(self):
+        # Case II second strategy: C = IT * U
+        assert cost_per_invocation(5.0, 2.0, 4.0, 0.01) == pytest.approx(0.04)
+
+    def test_keepalive_cheaper_than_recreate(self):
+        """Theorem rationale: keep-alive beats terminate-and-recreate."""
+        t, i, it, u = 5.0, 2.0, 4.0, 0.01
+        keepalive = cost_per_invocation(t, i, it, u)
+        recreate = (t + i) * u
+        assert keepalive < recreate
+
+    @given(
+        t=st.floats(0.1, 10.0),
+        i=st.floats(0.1, 10.0),
+        it=st.floats(0.2, 50.0),
+        u=st.floats(1e-6, 1e-3),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_adaptive_cost_is_min_envelope(self, t, i, it, u):
+        """The adaptive policy never costs more than either pure strategy."""
+        c = cost_per_invocation(t, i, it, u)
+        assert c <= (t + i) * u + 1e-15  # never worse than recreate
+        if t + i < it:  # pre-warm regime: also never worse than keep-alive
+            assert c <= it * u + 1e-15
+
+
+class TestFunctionPlan:
+    @pytest.fixture
+    def profile(self):
+        return oracle_profile(image_query().spec("TG").profile, n_sigma=1.0)
+
+    def test_build_prewarm_regime(self, profile):
+        cfg = HardwareConfig.cpu(8)
+        plan = FunctionPlan.build("TG", cfg, profile, inter_arrival=60.0)
+        assert plan.policy is ColdStartPolicy.PREWARM
+        assert plan.prewarm_window == pytest.approx(
+            60.0 - plan.init_time - plan.inference_time
+        )
+        assert plan.cost == pytest.approx(
+            (plan.init_time + plan.inference_time) * cfg.unit_cost
+        )
+
+    def test_build_keepalive_regime(self, profile):
+        cfg = HardwareConfig.gpu(0.3)
+        plan = FunctionPlan.build("TG", cfg, profile, inter_arrival=2.0)
+        assert plan.policy is ColdStartPolicy.KEEP_ALIVE
+        assert plan.cost == pytest.approx(2.0 * cfg.unit_cost)
+
+    def test_batch_increases_inference(self, profile):
+        cfg = HardwareConfig.cpu(8)
+        p1 = FunctionPlan.build("TG", cfg, profile, 60.0, batch=1)
+        p4 = FunctionPlan.build("TG", cfg, profile, 60.0, batch=4)
+        assert p4.inference_time > p1.inference_time
+
+
+class TestEvaluateAssignment:
+    @pytest.fixture
+    def setup(self):
+        app = image_query()
+        profiles = {
+            s.name: oracle_profile(s.profile, n_sigma=1.0) for s in app.specs
+        }
+        return app, profiles
+
+    def test_latency_is_critical_path_of_inference(self, setup):
+        app, profiles = setup
+        assignment = {f: HardwareConfig.gpu(1.0) for f in app.function_names}
+        ev = evaluate_assignment(app, assignment, profiles, 10.0)
+        expect = app.critical_path_latency(
+            {f: profiles[f].inference_time(HardwareConfig.gpu(1.0)) for f in app}
+        )
+        assert ev.latency == pytest.approx(expect)
+
+    def test_cost_is_sum_of_function_costs(self, setup):
+        app, profiles = setup
+        assignment = {f: HardwareConfig.cpu(4) for f in app.function_names}
+        ev = evaluate_assignment(app, assignment, profiles, 10.0)
+        assert ev.cost == pytest.approx(sum(p.cost for p in ev.plans.values()))
+
+    def test_feasibility_flag(self, setup):
+        app, profiles = setup
+        slow = {f: HardwareConfig.cpu(1) for f in app.function_names}
+        ev = evaluate_assignment(app, slow, profiles, 10.0)
+        assert ev.latency > app.sla
+        assert not ev.feasible
+
+    def test_missing_function_raises(self, setup):
+        app, profiles = setup
+        with pytest.raises(ValueError, match="missing"):
+            evaluate_assignment(app, {"IR": HardwareConfig.cpu(1)}, profiles, 10.0)
+
+    def test_larger_it_never_cheaper_per_invocation(self, setup):
+        """Per-invocation adaptive cost is nondecreasing in IT."""
+        app, profiles = setup
+        assignment = {f: HardwareConfig.cpu(4) for f in app.function_names}
+        costs = [
+            evaluate_assignment(app, assignment, profiles, it).cost
+            for it in (0.5, 1.0, 2.0, 5.0, 20.0, 100.0)
+        ]
+        assert all(a <= b + 1e-15 for a, b in zip(costs, costs[1:]))

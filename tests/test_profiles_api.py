@@ -1,0 +1,64 @@
+"""Additional coverage for FunctionProfile and ProfilingPlan surfaces."""
+
+import pytest
+
+from repro.dag.models import get_profile
+from repro.hardware import Backend, HardwareConfig
+from repro.profiler import FunctionProfile, ProfilingPlan, oracle_profile
+from repro.profiler.fitting import FittedLatencyModel
+from repro.profiler.inittime import InitTimeEstimate
+
+
+class TestFunctionProfileSurface:
+    @pytest.fixture
+    def profile(self):
+        return oracle_profile(get_profile("QA"), n_sigma=2.0)
+
+    def test_supports_both_backends(self, profile):
+        assert profile.supports(Backend.CPU)
+        assert profile.supports(Backend.GPU)
+
+    def test_inference_monotone_in_batch(self, profile):
+        cfg = HardwareConfig.cpu(4)
+        times = [profile.inference_time(cfg, b) for b in (1, 2, 4, 8)]
+        assert times == sorted(times)
+
+    def test_inference_monotone_in_resources(self, profile):
+        times = [
+            profile.inference_time(HardwareConfig.cpu(c)) for c in (1, 2, 4, 8, 16)
+        ]
+        assert times == sorted(times, reverse=True)
+
+    def test_init_time_uses_n_sigma(self, profile):
+        cfg = HardwareConfig.gpu(0.3)
+        assert profile.init_time(cfg) == pytest.approx(
+            profile.mean_init_time(cfg)
+            + 2.0 * profile._init(Backend.GPU).std
+        )
+
+    def test_cpu_only_profile_errors(self):
+        cpu_only = FunctionProfile(
+            function="x",
+            cpu_model=FittedLatencyModel(1.0, 0.1, 0.02),
+            gpu_model=None,
+            init_cpu=InitTimeEstimate(2.0, 0.1, 10),
+            init_gpu=None,
+        )
+        assert not cpu_only.supports(Backend.GPU)
+        with pytest.raises(ValueError, match="gpu"):
+            cpu_only.inference_time(HardwareConfig.gpu(0.1))
+        with pytest.raises(ValueError, match="gpu"):
+            cpu_only.init_time(HardwareConfig.gpu(0.1))
+
+
+class TestProfilingPlanGrids:
+    def test_grid_contents(self):
+        plan = ProfilingPlan(cpu_cores=(1, 4), gpu_fractions=(0.5,), batches=(1, 2))
+        cpu = plan.cpu_grid()
+        gpu = plan.gpu_grid()
+        assert {(c.cpu_cores, b) for c, b in cpu} == {(1, 1), (1, 2), (4, 1), (4, 2)}
+        assert {(c.gpu_fraction, b) for c, b in gpu} == {(0.5, 1), (0.5, 2)}
+
+    def test_inference_repeats_validation(self):
+        with pytest.raises(ValueError):
+            ProfilingPlan(inference_repeats=0)

@@ -1,0 +1,140 @@
+"""Tests for the Trace container and its windowing utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload import Trace
+
+
+class TestConstruction:
+    def test_sorts_times(self):
+        t = Trace([3.0, 1.0, 2.0])
+        np.testing.assert_array_equal(t.times, [1.0, 2.0, 3.0])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Trace([-1.0, 2.0])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            Trace([np.nan])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            Trace(np.zeros((2, 2)))
+
+    def test_duration_default_is_last_arrival(self):
+        assert Trace([1.0, 5.0]).duration == 5.0
+
+    def test_duration_cannot_truncate(self):
+        with pytest.raises(ValueError):
+            Trace([1.0, 5.0], duration=3.0)
+
+    def test_empty_trace(self):
+        t = Trace([], duration=10.0)
+        assert len(t) == 0
+        assert t.rate == 0.0
+
+    def test_times_read_only(self):
+        t = Trace([1.0])
+        with pytest.raises(ValueError):
+            t.times[0] = 9.0
+
+    def test_equality_and_hash(self):
+        assert Trace([1.0, 2.0]) == Trace([2.0, 1.0])
+        assert hash(Trace([1.0], duration=2.0)) == hash(Trace([1.0], duration=2.0))
+
+
+class TestWindowing:
+    def test_counts_per_window(self):
+        t = Trace([0.1, 0.5, 1.2, 3.9], duration=4.0)
+        np.testing.assert_array_equal(t.counts_per_window(1.0), [2, 1, 0, 1])
+
+    def test_counts_sum_matches_len(self):
+        t = Trace(np.linspace(0, 9.9, 57), duration=10.0)
+        assert t.counts_per_window(1.0).sum() == len(t)
+
+    def test_counts_empty_trace(self):
+        t = Trace([], duration=3.0)
+        np.testing.assert_array_equal(t.counts_per_window(1.0), [0, 0, 0])
+
+    def test_inter_arrival_times(self):
+        t = Trace([1.0, 2.5, 4.0])
+        np.testing.assert_allclose(t.inter_arrival_times(), [1.5, 1.5])
+
+    def test_inter_arrival_short_trace(self):
+        assert Trace([1.0]).inter_arrival_times().size == 0
+
+    def test_window_inter_arrivals(self):
+        # non-empty windows: 0, 3, 5 → gaps 3s, 2s
+        t = Trace([0.2, 3.7, 5.1], duration=6.0)
+        np.testing.assert_allclose(t.window_inter_arrivals(1.0), [3.0, 2.0])
+
+    def test_variance_to_mean_ratio_poisson_near_one(self):
+        rng = np.random.default_rng(0)
+        t = Trace(np.sort(rng.random(5000) * 5000), duration=5000.0)
+        assert t.variance_to_mean_ratio(1.0) == pytest.approx(1.0, abs=0.15)
+
+
+class TestTransforms:
+    def test_slice_rebases(self):
+        t = Trace([1.0, 2.0, 3.0], duration=4.0)
+        s = t.slice(1.5, 3.5)
+        np.testing.assert_allclose(s.times, [0.5, 1.5])
+        assert s.duration == 2.0
+
+    def test_slice_rejects_empty_interval(self):
+        with pytest.raises(ValueError):
+            Trace([1.0]).slice(2.0, 2.0)
+
+    def test_time_scaled(self):
+        # the paper's 60s->2s compression is factor 1/30
+        t = Trace([30.0, 60.0], duration=60.0).time_scaled(1 / 30)
+        np.testing.assert_allclose(t.times, [1.0, 2.0])
+        assert t.duration == pytest.approx(2.0)
+
+    def test_merged(self):
+        m = Trace([1.0], duration=5.0).merged(Trace([2.0], duration=3.0))
+        np.testing.assert_allclose(m.times, [1.0, 2.0])
+        assert m.duration == 5.0
+
+    def test_shifted(self):
+        s = Trace([1.0], duration=2.0).shifted(3.0)
+        np.testing.assert_allclose(s.times, [4.0])
+        assert s.duration == 5.0
+
+    def test_from_counts_deterministic(self):
+        t = Trace.from_counts([2, 0, 1], window=1.0)
+        np.testing.assert_allclose(t.times, [0.0, 0.0, 2.0])
+        assert t.duration == 3.0
+
+    def test_from_counts_random_spread(self):
+        rng = np.random.default_rng(0)
+        t = Trace.from_counts([5, 5], window=2.0, rng=rng)
+        assert len(t) == 10
+        np.testing.assert_array_equal(t.counts_per_window(2.0), [5, 5])
+
+    def test_from_counts_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Trace.from_counts([1, -1])
+
+
+class TestRoundTrips:
+    @given(
+        counts=st.lists(st.integers(0, 5), min_size=1, max_size=50),
+        window=st.sampled_from([0.5, 1.0, 2.0]),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_counts_roundtrip(self, counts, window):
+        """from_counts → counts_per_window is the identity."""
+        t = Trace.from_counts(counts, window=window)
+        np.testing.assert_array_equal(t.counts_per_window(window), counts)
+
+    @given(seed=st.integers(0, 100), factor=st.sampled_from([0.5, 2.0]))
+    @settings(max_examples=20, deadline=None)
+    def test_scaling_preserves_count(self, seed, factor):
+        rng = np.random.default_rng(seed)
+        t = Trace(np.sort(rng.random(50) * 100), duration=100.0)
+        assert len(t.time_scaled(factor)) == len(t)

@@ -1,0 +1,167 @@
+"""Tests for the Workflow Manager, Auto-scaler and Optimizer Engine."""
+
+import pytest
+
+from repro.core import AutoScaler, ExhaustiveSearch, OptimizerEngine, WorkflowManager
+from repro.dag import amber_alert, image_query, linear_pipeline, voice_assistant
+from repro.hardware import Backend, ConfigurationSpace, HardwareConfig
+from repro.profiler import oracle_profile
+
+SPACE = ConfigurationSpace.default()
+
+
+def oracle_profiles(app):
+    return {s.name: oracle_profile(s.profile, n_sigma=1.0) for s in app.specs}
+
+
+class TestWorkflowManager:
+    @pytest.mark.parametrize("factory", [amber_alert, image_query, voice_assistant])
+    def test_strategy_meets_sla(self, factory):
+        app = factory()
+        strategy = WorkflowManager(SPACE).optimize(app, oracle_profiles(app), 5.0)
+        assert strategy.feasible
+        assert strategy.latency <= app.sla + 1e-9
+        assert set(strategy.assignment) == set(app.function_names)
+
+    def test_near_optimal_on_small_dag(self):
+        """Fig. 8: SMIless stays close to the exhaustive optimum."""
+        app = image_query()
+        profiles = oracle_profiles(app)
+        for it in (1.0, 5.0, 30.0):
+            strategy = WorkflowManager(SPACE).optimize(app, profiles, it)
+            opt = ExhaustiveSearch(SPACE).optimize_app(app, profiles, it)
+            assert strategy.cost <= opt.cost * 1.5 + 1e-15
+
+    def test_single_function_app(self):
+        app = linear_pipeline(1)
+        strategy = WorkflowManager(SPACE).optimize(app, oracle_profiles(app), 10.0)
+        assert strategy.feasible
+        assert len(strategy.assignment) == 1
+
+    def test_infeasible_sla_reported(self):
+        app = linear_pipeline(4, models=("TRS", "TG", "SR", "TRS")).with_sla(0.05)
+        strategy = WorkflowManager(SPACE).optimize(app, oracle_profiles(app), 2.0)
+        assert not strategy.feasible
+        assert strategy.latency > app.sla
+
+    def test_sla_override(self):
+        app = image_query()
+        strategy = WorkflowManager(SPACE).optimize(
+            app, oracle_profiles(app), 5.0, sla=10.0
+        )
+        relaxed_cost = strategy.cost
+        tight = WorkflowManager(SPACE).optimize(app, oracle_profiles(app), 5.0, sla=1.5)
+        assert tight.feasible
+        assert relaxed_cost <= tight.cost + 1e-12
+
+    def test_cpu_only_space(self):
+        """SMIless-Homo: everything lands on CPU configurations."""
+        app = voice_assistant(sla=6.0)
+        strategy = WorkflowManager(ConfigurationSpace.cpu_only()).optimize(
+            app, oracle_profiles(app), 5.0
+        )
+        assert all(c.backend is Backend.CPU for c in strategy.assignment.values())
+
+    def test_plans_consistent_with_assignment(self):
+        app = voice_assistant()
+        strategy = WorkflowManager(SPACE).optimize(app, oracle_profiles(app), 3.0)
+        for fn, cfg in strategy.assignment.items():
+            assert strategy.plan(fn).config == cfg
+            assert strategy.plan(fn).cost > 0
+
+
+class TestAutoScaler:
+    @pytest.fixture
+    def profile(self):
+        return oracle_profile(image_query().spec("TG").profile, n_sigma=1.0)
+
+    def test_max_feasible_batch_monotone_in_budget(self, profile):
+        scaler = AutoScaler(SPACE)
+        cfg = HardwareConfig.gpu(0.5)
+        batches = [
+            scaler.max_feasible_batch(profile, cfg, budget)
+            for budget in (0.3, 0.6, 1.2, 2.4)
+        ]
+        assert all(a <= b for a, b in zip(batches, batches[1:]))
+
+    def test_max_feasible_batch_zero_when_impossible(self, profile):
+        scaler = AutoScaler(SPACE)
+        assert scaler.max_feasible_batch(profile, HardwareConfig.cpu(1), 0.05) == 0
+
+    def test_batch_respects_budget(self, profile):
+        scaler = AutoScaler(SPACE)
+        cfg = HardwareConfig.gpu(1.0)
+        b = scaler.max_feasible_batch(profile, cfg, 1.0)
+        assert profile.inference_time(cfg, b) <= 1.0
+        assert profile.inference_time(cfg, b + 1) > 1.0
+
+    def test_plan_covers_demand(self, profile):
+        scaler = AutoScaler(SPACE)
+        decision = scaler.plan("TG", profile, predicted_invocations=40,
+                               inter_arrival=1.0, budget=1.0)
+        assert decision.feasible
+        assert decision.batch * decision.instances >= 40
+        assert decision.inference_time <= 1.0
+
+    def test_plan_prefers_batching_over_scaleout(self, profile):
+        """GPUs absorb batches: few instances needed under burst (Fig. 14b)."""
+        scaler = AutoScaler(SPACE)
+        decision = scaler.plan("TG", profile, 32, 1.0, budget=2.0)
+        assert decision.batch > 1
+        assert decision.instances < 32
+
+    def test_plan_infeasible_budget_scales_out_fastest(self, profile):
+        scaler = AutoScaler(SPACE)
+        decision = scaler.plan("TG", profile, 5, 1.0, budget=0.01)
+        assert not decision.feasible
+        assert decision.batch == 1
+        assert decision.instances == 5
+
+    def test_plan_single_invocation(self, profile):
+        scaler = AutoScaler(SPACE)
+        decision = scaler.plan("TG", profile, 1, 2.0, budget=1.5)
+        assert decision.instances == 1
+        assert decision.batch == 1
+
+    def test_plan_validation(self, profile):
+        scaler = AutoScaler(SPACE)
+        with pytest.raises(ValueError):
+            scaler.plan("TG", profile, 0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            scaler.plan("TG", profile, 1, 0.0, 1.0)
+
+    def test_plan_all(self):
+        app = image_query()
+        profiles = oracle_profiles(app)
+        scaler = AutoScaler(SPACE)
+        budgets = {fn: 1.0 for fn in app.function_names}
+        decisions = scaler.plan_all(profiles, budgets, 8, 1.0)
+        assert set(decisions) == set(app.function_names)
+
+
+class TestOptimizerEngine:
+    def test_end_to_end(self):
+        app = voice_assistant()
+        profiles = oracle_profiles(app)
+        engine = OptimizerEngine(SPACE)
+        strategy = engine.strategy(app, profiles, 4.0)
+        assert strategy.feasible
+        decisions = engine.scale(app, profiles, strategy, 16, 1.0)
+        for fn, d in decisions.items():
+            assert d.batch >= 1 and d.instances >= 1
+
+    def test_needs_scaling_logic(self):
+        app = voice_assistant()
+        profiles = oracle_profiles(app)
+        engine = OptimizerEngine(SPACE)
+        strategy = engine.strategy(app, profiles, 1.0)
+        assert not engine.needs_scaling(strategy, 1)
+        assert engine.needs_scaling(strategy, 100)
+
+    def test_scale_validation(self):
+        app = image_query()
+        profiles = oracle_profiles(app)
+        engine = OptimizerEngine(SPACE)
+        strategy = engine.strategy(app, profiles, 2.0)
+        with pytest.raises(ValueError):
+            engine.scale(app, profiles, strategy, 0, 1.0)

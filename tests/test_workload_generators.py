@@ -1,0 +1,189 @@
+"""Tests for arrival-process generators and the Azure-like workload."""
+
+import numpy as np
+import pytest
+
+from repro.workload import (
+    AzureLikeWorkload,
+    Trace,
+    WorkloadPattern,
+    bursty_process,
+    constant_rate_process,
+    poisson_process,
+    renewal_process,
+)
+from repro.workload.azure import PRESETS
+from repro.workload.generator import gamma_renewal_process, nonhomogeneous_poisson
+
+
+class TestPoisson:
+    def test_rate_matches(self):
+        t = poisson_process(2.0, 2000.0, rng=0)
+        assert t.rate == pytest.approx(2.0, rel=0.1)
+
+    def test_zero_rate_gives_empty_trace(self):
+        t = poisson_process(0.0, 10.0, rng=0)
+        assert len(t) == 0
+        assert t.duration == 10.0
+
+    def test_deterministic_given_seed(self):
+        assert poisson_process(1.0, 50.0, rng=9) == poisson_process(1.0, 50.0, rng=9)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            poisson_process(-1.0, 10.0)
+        with pytest.raises(ValueError):
+            poisson_process(1.0, 0.0)
+
+
+class TestNonhomogeneous:
+    def test_rate_modulation(self):
+        # rate 2/s in first half, 0 in second half
+        def rate(t):
+            return np.where(np.asarray(t) < 500, 2.0, 0.0)
+
+        tr = nonhomogeneous_poisson(rate, 1000.0, 2.0, rng=0)
+        first = tr.slice(0, 500.0)
+        second = tr.slice(500.0, 1000.0)
+        assert first.rate == pytest.approx(2.0, rel=0.15)
+        assert len(second) == 0
+
+    def test_rejects_rate_above_bound(self):
+        with pytest.raises(ValueError, match="rate_max"):
+            nonhomogeneous_poisson(lambda t: np.full_like(t, 5.0), 100.0, 2.0, rng=0)
+
+
+class TestConstantRate:
+    def test_interval_spacing(self):
+        t = constant_rate_process(3.0, 10.0)
+        np.testing.assert_allclose(t.times, [0.0, 3.0, 6.0, 9.0])
+
+    def test_offset(self):
+        t = constant_rate_process(5.0, 10.0, offset=1.0)
+        np.testing.assert_allclose(t.times, [1.0, 6.0])
+
+
+class TestRenewal:
+    def test_exponential_renewal_is_poisson_like(self):
+        t = renewal_process(lambda g: g.exponential(0.5), 2000.0, rng=0)
+        assert t.rate == pytest.approx(2.0, rel=0.1)
+
+    def test_rejects_nonpositive_gap(self):
+        with pytest.raises(ValueError, match="gap"):
+            renewal_process(lambda g: 0.0, 10.0, rng=0)
+
+
+class TestBursty:
+    def test_burstier_than_poisson(self):
+        base = poisson_process(0.5, 1800.0, rng=1)
+        burst = bursty_process(0.5, 1800.0, burst_rate=20.0, rng=1)
+        assert burst.variance_to_mean_ratio() > base.variance_to_mean_ratio()
+
+    def test_contains_base_traffic(self):
+        t = bursty_process(1.0, 600.0, burst_frequency=0.0, rng=0)
+        assert t.rate == pytest.approx(1.0, rel=0.2)
+
+
+class TestGammaRenewal:
+    def test_mean_gap_matches(self):
+        t = gamma_renewal_process(5.0, 0.1, 3000.0, rng=0)
+        assert t.inter_arrival_times().mean() == pytest.approx(5.0, rel=0.05)
+
+    def test_low_cv_is_regular(self):
+        t = gamma_renewal_process(5.0, 0.05, 2000.0, rng=1)
+        gaps = t.inter_arrival_times()
+        assert gaps.std() / gaps.mean() < 0.1
+
+    def test_drift_modulates_gap(self):
+        t = gamma_renewal_process(
+            10.0, 0.05, 2000.0, rng=2, period_drift=0.5, drift_period=1000.0
+        )
+        gaps = t.inter_arrival_times()
+        assert gaps.max() > 1.3 * gaps.min()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gamma_renewal_process(0.0, 0.1, 10.0)
+        with pytest.raises(ValueError):
+            gamma_renewal_process(1.0, 0.1, 10.0, period_drift=1.5)
+
+
+class TestWorkloadPattern:
+    def test_gap_at_drift(self):
+        p = WorkloadPattern(mean_gap=4.0, gap_cv=0.1, drift=0.5, drift_period=100.0)
+        assert p.gap_at(25.0) == pytest.approx(6.0)  # sin peak
+        assert p.gap_at(75.0) == pytest.approx(2.0)  # sin trough
+
+    def test_idle_phase_mask(self):
+        p = WorkloadPattern(mean_gap=4.0, idle_fraction=0.5, idle_period=100.0)
+        mask = p.in_idle_phase(np.array([10.0, 60.0]))
+        assert mask.tolist() == [True, False]
+
+    def test_no_idle_phase_by_default(self):
+        p = WorkloadPattern(mean_gap=4.0)
+        assert not p.in_idle_phase(np.linspace(0, 100, 50)).any()
+
+    def test_rejects_bad_idle_fraction(self):
+        with pytest.raises(ValueError):
+            WorkloadPattern(mean_gap=1.0, idle_fraction=1.0)
+
+    def test_rejects_bad_drift(self):
+        with pytest.raises(ValueError):
+            WorkloadPattern(mean_gap=1.0, drift=1.0)
+
+
+class TestAzureLikeWorkload:
+    def test_presets_exist(self):
+        for name in ("steady", "diurnal", "bursty", "spiky", "sparse", "irregular"):
+            assert name in PRESETS
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(KeyError):
+            AzureLikeWorkload.preset("nope")
+
+    def test_deterministic_given_seed(self):
+        a = AzureLikeWorkload.preset("steady", seed=5).generate(300.0)
+        b = AzureLikeWorkload.preset("steady", seed=5).generate(300.0)
+        assert a == b
+
+    def test_steady_preset_has_predictable_gaps(self):
+        """Timer-dominated traffic: low coefficient of variation of gaps."""
+        t = AzureLikeWorkload.preset("steady", seed=4).generate(1800.0)
+        gaps = t.inter_arrival_times()
+        assert gaps.std() / gaps.mean() < 0.35  # drift included
+
+    def test_spiky_preset_has_high_dispersion(self):
+        """§VII-C2: the prediction-study traces have dispersion > 2."""
+        t = AzureLikeWorkload.preset("spiky", seed=3).generate(3600.0)
+        assert t.variance_to_mean_ratio(1.0) > 2.0
+
+    def test_bursty_preset_burstier_than_steady(self):
+        bursty = AzureLikeWorkload.preset("bursty", seed=3).generate(3600.0)
+        steady = AzureLikeWorkload.preset("steady", seed=3).generate(3600.0)
+        assert (
+            bursty.variance_to_mean_ratio(1.0)
+            > steady.variance_to_mean_ratio(1.0)
+        )
+
+    def test_generate_counts_shape(self):
+        counts = AzureLikeWorkload.preset("steady", seed=1).generate_counts(120.0, 1.0)
+        assert counts.shape == (120,)
+        assert counts.dtype.kind == "i"
+
+    def test_sparse_preset_has_idle_gaps(self):
+        t = AzureLikeWorkload.preset("sparse", seed=2).generate(1800.0)
+        gaps = t.window_inter_arrivals(1.0)
+        assert gaps.size > 0
+        assert gaps.max() > 10.0
+
+    def test_irregular_preset_is_unpredictable(self):
+        t = AzureLikeWorkload.preset("irregular", seed=6).generate(2000.0)
+        gaps = t.inter_arrival_times()
+        assert gaps.std() / gaps.mean() > 0.7
+
+    def test_traces_respect_duration(self):
+        t = AzureLikeWorkload.preset("bursty", seed=8).generate(200.0)
+        assert isinstance(t, Trace)
+        assert t.duration == pytest.approx(200.0)
+        if len(t):
+            assert t.times.max() <= 200.0
