@@ -1,0 +1,143 @@
+"""Simulator hot-path microbench: events/sec and wall-clock per grid cell.
+
+Runs the fig08-style comparison grid (every policy on every Fig. 7 app)
+through :func:`repro.experiments.parallel.run_grid`, serially and with a
+4-worker process pool, and writes the measurements to ``BENCH_simcore.json``
+at the repository root so the speedup is tracked across PRs.
+
+Two modes:
+
+- **full** (default): evaluation duration 150 s, two serial repeats
+  (min taken, the standard microbenchmark estimator), and the >= 3x
+  end-to-end speedup acceptance assert against the recorded seed baseline;
+- **smoke** (``SMILESS_BENCH_SMOKE=1``): duration 40 s, single repeat, no
+  speedup assert (the baseline constant was measured at duration 150).
+  Used by CI to exercise the harness cheaply.
+
+Both modes assert that the 4-worker grid returns bit-identical summaries
+to the serial grid — the determinism contract of the parallel runner.
+
+In-process caches (memoized environments, the trained-predictor cache) are
+cleared between serial repeats so every repeat pays the full cost of a
+cold run; without this, repeat 2 would measure cache hits and flatter the
+result.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+from repro.experiments import parallel as parallel_mod
+from repro.experiments.parallel import product_grid, run_grid
+from repro.policies import smiless as smiless_mod
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+BENCH_JSON = REPO_ROOT / "BENCH_simcore.json"
+
+SMOKE = bool(os.environ.get("SMILESS_BENCH_SMOKE"))
+
+APPS = ("image-query", "amber-alert", "voice-assistant")
+POLICIES = ("smiless", "orion", "icebreaker", "grandslam")
+DURATION = 40.0 if SMOKE else 150.0
+REPEATS = 1 if SMOKE else 2
+PARALLEL_WORKERS = 4
+
+#: Wall-clock of this exact grid (3 apps x 4 policies, preset steady,
+#: sla 2.0, duration 150 s, env seed 0, sim seed 3) on the pre-optimization
+#: engine, measured in this repository's reference container from a git
+#: worktree at the seed commit: environments built once per app, then every
+#: cell's ``make_policy`` + ``run`` timed serially — the same accounting
+#: :func:`run_cell` uses.  Only comparable to full-mode runs.
+SEED_BASELINE_SECONDS = 17.05
+
+#: Acceptance floor for the optimized engine (indexed pools + cancellable
+#: timers + memoized perf models + predictor cache) on the same grid.
+MIN_SPEEDUP = 3.0
+
+
+def _clear_caches() -> None:
+    """Reset every in-process memo so a repeat measures a cold run."""
+    parallel_mod._environment.cache_clear()
+    smiless_mod._PREDICTOR_CACHE.clear()
+
+
+def _timed_grid(cells, *, workers: int):
+    _clear_caches()
+    start = time.perf_counter()
+    results = run_grid(cells, workers=workers)
+    return time.perf_counter() - start, results
+
+
+def test_perf_microbench():
+    cells = product_grid(APPS, POLICIES, duration=DURATION)
+
+    serial_walls = []
+    serial_results = None
+    for _ in range(REPEATS):
+        wall, serial_results = _timed_grid(cells, workers=1)
+        serial_walls.append(wall)
+    serial_seconds = min(serial_walls)
+
+    parallel_seconds, parallel_results = _timed_grid(
+        cells, workers=PARALLEL_WORKERS
+    )
+
+    # Determinism contract: fanning the grid across processes changes
+    # nothing about any cell's outcome.
+    assert [r.summary for r in parallel_results] == [
+        r.summary for r in serial_results
+    ]
+    assert [r.spec for r in parallel_results] == [r.spec for r in serial_results]
+
+    # On a single-core host the process pool cannot beat serial (workers
+    # re-train predictors the serial run shares via the in-process cache),
+    # so the tracked figure is the best configuration for this host.
+    best_seconds = min(serial_seconds, parallel_seconds)
+    speedup = SEED_BASELINE_SECONDS / best_seconds if not SMOKE else None
+
+    report = {
+        "mode": "smoke" if SMOKE else "full",
+        "cpu_count": os.cpu_count(),
+        "grid": {
+            "apps": list(APPS),
+            "policies": list(POLICIES),
+            "preset": "steady",
+            "sla": 2.0,
+            "duration": DURATION,
+            "env_seed": 0,
+            "sim_seed": 3,
+        },
+        "serial_seconds": round(serial_seconds, 4),
+        "serial_repeats": serial_walls,
+        "parallel_workers": PARALLEL_WORKERS,
+        "parallel_seconds": round(parallel_seconds, 4),
+        "best_seconds": round(best_seconds, 4),
+        "seed_baseline_seconds": None if SMOKE else SEED_BASELINE_SECONDS,
+        "speedup_vs_seed": None if SMOKE else round(speedup, 2),
+        "cells": [
+            {
+                "app": r.spec.env.app,
+                "policy": r.spec.policy,
+                "wall_clock": round(r.wall_clock, 4),
+                "events_processed": r.events_processed,
+                "events_per_second": round(r.events_per_second, 1),
+            }
+            for r in serial_results
+        ],
+    }
+    BENCH_JSON.write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"\n[perf microbench] mode={report['mode']} "
+        f"serial={serial_seconds:.2f}s parallel={parallel_seconds:.2f}s"
+        + ("" if SMOKE else f" speedup_vs_seed={speedup:.2f}x")
+    )
+
+    if not SMOKE:
+        assert speedup >= MIN_SPEEDUP, (
+            f"grid took {best_seconds:.2f}s against the "
+            f"{SEED_BASELINE_SECONDS:.2f}s seed baseline "
+            f"({speedup:.2f}x < {MIN_SPEEDUP}x)"
+        )

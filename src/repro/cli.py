@@ -56,7 +56,7 @@ def cmd_compare(args) -> int:
         f"{args.app}: {len(env.trace)} invocations over "
         f"{env.trace.duration:.0f}s (preset {args.preset!r}, SLA {args.sla}s)\n"
     )
-    _print_rows(run_comparison(env, tuple(args.policies)))
+    _print_rows(run_comparison(env, tuple(args.policies), workers=args.workers))
     return 0
 
 
@@ -66,7 +66,9 @@ def cmd_sweep(args) -> int:
     )
     print(f"SLA sweep on {args.app} under {args.policy!r}\n")
     print(f"{'SLA':>6} {'cost':>9} {'violations':>11} {'mean lat':>9}")
-    for sla, row in run_sla_sweep(env, tuple(args.slas), args.policy):
+    for sla, row in run_sla_sweep(
+        env, tuple(args.slas), args.policy, workers=args.workers
+    ):
         print(
             f"{sla:>5.1f}s ${row.total_cost:>8.4f} "
             f"{row.violation_ratio:>10.1%} {row.mean_latency:>8.2f}s"
@@ -170,10 +172,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def common(p):
+    def common(p, workers=False):
         p.add_argument("--preset", default="steady", choices=sorted(PRESETS))
         p.add_argument("--duration", type=float, default=600.0)
         p.add_argument("--seed", type=int, default=0)
+        if workers:
+            p.add_argument(
+                "--workers",
+                type=int,
+                default=1,
+                help="worker processes for the experiment grid (1 = serial)",
+            )
 
     p = sub.add_parser("compare", help="compare policies on one app")
     p.add_argument("app", choices=sorted(APP_BUILDERS))
@@ -184,14 +193,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=["smiless", "orion", "icebreaker", "grandslam"],
         choices=POLICY_NAMES,
     )
-    common(p)
+    common(p, workers=True)
     p.set_defaults(func=cmd_compare)
 
     p = sub.add_parser("sweep", help="SLA sweep under one policy")
     p.add_argument("app", choices=sorted(APP_BUILDERS))
     p.add_argument("--policy", default="smiless", choices=POLICY_NAMES)
     p.add_argument("--slas", nargs="+", type=float, default=[1.0, 2.0, 4.0, 8.0])
-    common(p)
+    common(p, workers=True)
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("multiapp", help="co-run the three evaluation apps")

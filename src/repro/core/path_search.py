@@ -59,11 +59,25 @@ def build_candidates(
     inter_arrival: float,
     batch: int = 1,
 ) -> dict[str, list[Candidate]]:
-    """Per-function candidate lists sorted by adaptive cost (cheapest first)."""
+    """Per-function candidate lists sorted by adaptive cost (cheapest first).
+
+    Lists are memoized per (profile, space, inter_arrival, batch): the
+    Auto-scaler rebuilds identical candidate sets on every control window
+    for the same inter-arrival bucket.  Cached lists are shared — callers
+    treat them as read-only (all in-tree consumers do).
+    """
     check_positive("inter_arrival", inter_arrival)
     out: dict[str, list[Candidate]] = {}
     for fn in functions:
         profile = profiles[fn]
+        # The space is keyed by identity and verified, since
+        # ConfigurationSpace is a plain (identity-hashed, mutable-looking)
+        # container and id() values can be recycled.
+        key = ("cands", id(space), inter_arrival, batch)
+        cached = profile._memo.get(key)
+        if cached is not None and cached[0] is space:
+            out[fn] = cached[1]
+            continue
         cands = []
         for cfg in space:
             if not profile.supports(cfg.backend):
@@ -76,6 +90,9 @@ def build_candidates(
         if not cands:
             raise ValueError(f"no feasible configurations for function {fn!r}")
         cands.sort(key=lambda c: (c.cost, c.inference_time))
+        if len(profile._memo) > 16384:  # unbounded-IT safety valve
+            profile._memo.clear()
+        profile._memo[key] = (space, cands)
         out[fn] = cands
     return out
 

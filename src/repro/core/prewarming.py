@@ -95,10 +95,20 @@ class FunctionPlan:
         inter_arrival: float,
         batch: int = 1,
     ) -> "FunctionPlan":
-        """Evaluate the adaptive policy for ``function`` on ``config``."""
+        """Evaluate the adaptive policy for ``function`` on ``config``.
+
+        Plans are pure functions of the (immutable) profile and the
+        arguments, so they are memoized on the profile: every control
+        window re-evaluates the same assignments for the current
+        inter-arrival estimate.
+        """
+        key = ("plan", function, config, inter_arrival, batch)
+        cached = profile._memo.get(key)
+        if cached is not None:
+            return cached
         t = profile.init_time(config)
         i = profile.inference_time(config, batch)
-        return cls(
+        plan = cls(
             function=function,
             config=config,
             policy=policy_for(t, i, inter_arrival),
@@ -107,6 +117,10 @@ class FunctionPlan:
             prewarm_window=prewarm_window(t, i, inter_arrival),
             cost=cost_per_invocation(t, i, inter_arrival, config.unit_cost),
         )
+        if len(profile._memo) > 16384:  # unbounded-IT safety valve
+            profile._memo.clear()
+        profile._memo[key] = plan
+        return plan
 
 
 @dataclass(frozen=True)

@@ -6,6 +6,13 @@ result rows, so notebooks, the CLI and ad-hoc scripts share one
 implementation with the benchmark suite's semantics.
 """
 
+from repro.experiments.parallel import (
+    CellResult,
+    CellSpec,
+    EnvSpec,
+    product_grid,
+    run_grid,
+)
 from repro.experiments.runners import (
     ComparisonRow,
     build_environment,
@@ -16,7 +23,12 @@ from repro.experiments.runners import (
 
 __all__ = [
     "ComparisonRow",
+    "EnvSpec",
+    "CellSpec",
+    "CellResult",
     "build_environment",
+    "product_grid",
+    "run_grid",
     "run_comparison",
     "run_sla_sweep",
     "run_multi_app",

@@ -1,0 +1,146 @@
+"""Parallel experiment grid: fan simulation cells across worker processes.
+
+A *cell* is one (application, policy, SLA, seed) simulation.  Figure-style
+experiments are embarrassingly parallel across cells — each cell builds its
+own environment from a picklable :class:`EnvSpec` and runs a fresh
+simulator — so the grid fans them over a ``ProcessPoolExecutor``.
+
+Determinism: a cell's outcome depends only on its spec (environment seed
+and simulator seed), never on scheduling order, so a parallel grid returns
+bit-identical summaries to a serial one.  ``executor.map`` preserves input
+order, which keeps result lists stable too.
+
+Worker processes memoize environments per :class:`EnvSpec` (profiling and
+trace synthesis are the expensive, deterministic part), so a sweep of many
+policies over one environment pays the build cost once per process.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class EnvSpec:
+    """Picklable recipe for :func:`repro.experiments.runners.build_environment`."""
+
+    app: str
+    preset: str = "steady"
+    sla: float = 2.0
+    duration: float = 600.0
+    train_duration: float = 3600.0
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One grid cell: an environment recipe plus a policy and simulator seed."""
+
+    env: EnvSpec
+    policy: str
+    sim_seed: int = 3
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Outcome of one cell, with timing for the perf microbench."""
+
+    spec: CellSpec
+    summary: dict
+    wall_clock: float
+    events_processed: int
+
+    @property
+    def events_per_second(self) -> float:
+        """Simulator event throughput of this cell."""
+        if self.wall_clock <= 0:
+            return float("inf")
+        return self.events_processed / self.wall_clock
+
+
+@lru_cache(maxsize=8)
+def _environment(spec: EnvSpec):
+    """Per-process environment cache (profiling + trace synthesis are pure)."""
+    from repro.experiments.runners import build_environment
+
+    return build_environment(
+        spec.app,
+        preset=spec.preset,
+        sla=spec.sla,
+        duration=spec.duration,
+        train_duration=spec.train_duration,
+        seed=spec.seed,
+    )
+
+
+def run_cell(spec: CellSpec) -> CellResult:
+    """Build the cell's environment, serve its trace, and time the run."""
+    from repro.simulator import ServerlessSimulator
+
+    env = _environment(spec.env)
+    start = time.perf_counter()
+    # Policy construction is part of the cell: policies may train
+    # predictors, which dominates some cells' cost.
+    sim = ServerlessSimulator(
+        env.app, env.trace, env.make_policy(spec.policy), seed=spec.sim_seed
+    )
+    metrics = sim.run()
+    wall = time.perf_counter() - start
+    return CellResult(
+        spec=spec,
+        summary=metrics.summary(),
+        wall_clock=wall,
+        events_processed=sim.events.processed,
+    )
+
+
+def run_grid(
+    cells: Sequence[CellSpec], *, workers: int = 1
+) -> list[CellResult]:
+    """Run every cell, fanning across ``workers`` processes when > 1.
+
+    Results come back in input order regardless of worker count.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    cells = list(cells)
+    if workers == 1 or len(cells) <= 1:
+        return [run_cell(c) for c in cells]
+    with ProcessPoolExecutor(max_workers=min(workers, len(cells))) as pool:
+        return list(pool.map(run_cell, cells))
+
+
+def product_grid(
+    apps: Iterable[str],
+    policies: Iterable[str],
+    slas: Iterable[float] = (2.0,),
+    seeds: Iterable[int] = (3,),
+    *,
+    preset: str = "steady",
+    duration: float = 600.0,
+    train_duration: float = 3600.0,
+    env_seed: int = 0,
+) -> list[CellSpec]:
+    """The (app × sla × policy × seed) cell product, in deterministic order."""
+    return [
+        CellSpec(
+            env=EnvSpec(
+                app=app,
+                preset=preset,
+                sla=sla,
+                duration=duration,
+                train_duration=train_duration,
+                seed=env_seed,
+            ),
+            policy=policy,
+            sim_seed=seed,
+        )
+        for app in apps
+        for sla in slas
+        for policy in policies
+        for seed in seeds
+    ]

@@ -8,6 +8,7 @@ import numpy as np
 
 from repro.dag import amber_alert, image_query, voice_assistant
 from repro.dag.graph import AppDAG
+from repro.experiments.parallel import CellSpec, EnvSpec, run_grid
 from repro.policies import (
     AquatopePolicy,
     GrandSLAmPolicy,
@@ -49,6 +50,10 @@ class Environment:
     oracle: dict
     train_counts: np.ndarray
     trace: Trace
+    # Picklable recipe this environment was built from; lets parallel
+    # runners rebuild it inside worker processes.  ``None`` for hand-rolled
+    # environments, which then fall back to serial execution.
+    spec: EnvSpec | None = None
 
     def make_policy(self, name: str):
         """Instantiate a policy by registry name."""
@@ -100,6 +105,14 @@ def build_environment(
         oracle=oracle,
         train_counts=train.counts_per_window(1.0),
         trace=trace,
+        spec=EnvSpec(
+            app=app_name,
+            preset=preset,
+            sla=sla,
+            duration=duration,
+            train_duration=train_duration,
+            seed=seed,
+        ),
     )
 
 
@@ -116,7 +129,10 @@ class ComparisonRow:
 
     @classmethod
     def from_metrics(cls, policy: str, m: RunMetrics) -> "ComparisonRow":
-        s = m.summary()
+        return cls.from_summary(policy, m.summary())
+
+    @classmethod
+    def from_summary(cls, policy: str, s: dict) -> "ComparisonRow":
         return cls(
             policy=policy,
             total_cost=s["total_cost"],
@@ -132,8 +148,23 @@ def run_comparison(
     policies: tuple[str, ...] = ("smiless", "orion", "icebreaker", "grandslam"),
     *,
     seed: int = 3,
+    workers: int = 1,
 ) -> list[ComparisonRow]:
-    """Serve the environment's trace under each policy."""
+    """Serve the environment's trace under each policy.
+
+    With ``workers > 1`` (and an environment that carries its build spec),
+    policies run in parallel worker processes; summaries are identical to a
+    serial run.
+    """
+    if workers > 1 and env.spec is not None:
+        cells = [
+            CellSpec(env=env.spec, policy=name, sim_seed=seed)
+            for name in policies
+        ]
+        return [
+            ComparisonRow.from_summary(res.spec.policy, res.summary)
+            for res in run_grid(cells, workers=workers)
+        ]
     rows = []
     for name in policies:
         metrics = ServerlessSimulator(
@@ -149,8 +180,32 @@ def run_sla_sweep(
     policy: str = "smiless",
     *,
     seed: int = 3,
+    workers: int = 1,
 ) -> list[tuple[float, ComparisonRow]]:
-    """Re-serve the trace at each SLA target under one policy."""
+    """Re-serve the trace at each SLA target under one policy.
+
+    With ``workers > 1`` the SLA points run in parallel worker processes.
+    """
+    if workers > 1 and env.spec is not None:
+        cells = [
+            CellSpec(
+                env=EnvSpec(
+                    app=env.spec.app,
+                    preset=env.spec.preset,
+                    sla=sla,
+                    duration=env.spec.duration,
+                    train_duration=env.spec.train_duration,
+                    seed=env.spec.seed,
+                ),
+                policy=policy,
+                sim_seed=seed,
+            )
+            for sla in slas
+        ]
+        return [
+            (sla, ComparisonRow.from_summary(policy, res.summary))
+            for sla, res in zip(slas, run_grid(cells, workers=workers))
+        ]
     out = []
     for sla in slas:
         app = env.app.with_sla(sla)

@@ -136,10 +136,17 @@ class GroundTruthPerformance:
         self.profile = profile
         self._rng = ensure_rng(rng)
         self.noisy = noisy
+        # Deterministic latency-law means per (config, batch); noise is
+        # sampled on top, so caching cannot perturb the RNG draw sequence.
+        self._mean_cache: dict[tuple[HardwareConfig, int], float] = {}
 
     def inference_time(self, config: HardwareConfig, batch: int = 1) -> float:
         """Sample the wall-clock inference time of one execution."""
-        base = self.profile.expected_inference_time(config, batch)
+        key = (config, batch)
+        base = self._mean_cache.get(key)
+        if base is None:
+            base = self.profile.expected_inference_time(config, batch)
+            self._mean_cache[key] = base
         if not self.noisy:
             return base
         sigma = (

@@ -43,6 +43,23 @@ KEEP_ALIVE_MARGIN = 1.25
 #: Grace period for a pre-warmed instance awaiting its predicted arrival.
 WARM_GRACE = 6.0
 
+#: Trained predictors keyed by (kind, training-series bytes, seed).
+#: Training is deterministic in those inputs (fixed default hyperparameters,
+#: seeded RNG), so a cache hit returns bit-identical weights; experiment
+#: grids that drive several applications with one workload regime then
+#: train each predictor once instead of once per cell.  Predictors are
+#: read-only after ``fit``, so sharing one instance across policies is safe.
+_PREDICTOR_CACHE: dict[tuple, object] = {}
+
+
+def _cached_predictor(key: tuple, train):
+    cached = _PREDICTOR_CACHE.get(key)
+    if cached is None:
+        if len(_PREDICTOR_CACHE) > 64:
+            _PREDICTOR_CACHE.clear()
+        cached = _PREDICTOR_CACHE[key] = train()
+    return cached
+
 
 class SMIlessPolicy(Policy):
     """Co-optimized configuration and cold-start management (the paper)."""
@@ -97,16 +114,22 @@ class SMIlessPolicy(Policy):
     def _train(self, counts: np.ndarray, seed: int) -> None:
         if self.invocation_predictor is None:
             try:
-                self.invocation_predictor = InvocationPredictor(
-                    bucket_size=1, n_buckets=16, epochs=4, seed=seed
-                ).fit(counts)
+                self.invocation_predictor = _cached_predictor(
+                    ("invocation", str(counts.dtype), counts.tobytes(), seed),
+                    lambda: InvocationPredictor(
+                        bucket_size=1, n_buckets=16, epochs=4, seed=seed
+                    ).fit(counts),
+                )
             except ValueError:
                 self.invocation_predictor = None
         if self.interarrival_predictor is None:
             try:
-                self.interarrival_predictor = InterArrivalPredictor(
-                    epochs=15, seed=seed
-                ).fit(counts)
+                self.interarrival_predictor = _cached_predictor(
+                    ("interarrival", str(counts.dtype), counts.tobytes(), seed),
+                    lambda: InterArrivalPredictor(epochs=15, seed=seed).fit(
+                        counts
+                    ),
+                )
             except ValueError:
                 self.interarrival_predictor = None
 

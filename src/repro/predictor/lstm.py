@@ -70,20 +70,38 @@ class LSTMLayer:
         h = np.zeros((B, H))
         c = np.zeros((B, H))
         hs = np.zeros((B, T, H))
-        cache: dict = {"x": x, "gates": [], "cs": [], "hs_prev": [], "cs_prev": []}
+        cache: dict = {
+            "x": x,
+            "gates": [],
+            "tanh_cs": [],
+            "hs_prev": [],
+            "cs_prev": [],
+        }
+        WxT = self.Wx.T
+        WhT = self.Wh.T
+        b = self.b
+        # Hoist the input projection out of the time loop when the inner
+        # dimension is 1 (every element is a single multiply, so the batched
+        # product is bitwise identical to the per-timestep one).
+        xz = x @ WxT if self.input_size == 1 else None
         for t in range(T):
-            z = x[:, t, :] @ self.Wx.T + h @ self.Wh.T + self.b
-            i = _sigmoid(z[:, :H])
-            f = _sigmoid(z[:, H : 2 * H])
+            zx = xz[:, t, :] if xz is not None else x[:, t, :] @ WxT
+            z = zx + h @ WhT + b
+            # One fused sigmoid for the adjacent i/f columns (elementwise, so
+            # splitting afterwards is bitwise identical to per-gate calls).
+            s_if = _sigmoid(z[:, : 2 * H])
+            i = s_if[:, :H]
+            f = s_if[:, H:]
             g = np.tanh(z[:, 2 * H : 3 * H])
             o = _sigmoid(z[:, 3 * H :])
             cache["hs_prev"].append(h)
             cache["cs_prev"].append(c)
             c = f * c + i * g
-            h = o * np.tanh(c)
+            tanh_c = np.tanh(c)
+            h = o * tanh_c
             hs[:, t, :] = h
             cache["gates"].append((i, f, g, o))
-            cache["cs"].append(c)
+            cache["tanh_cs"].append(tanh_c)
         return hs, cache
 
     def backward(
@@ -106,10 +124,9 @@ class LSTMLayer:
         dc_next = np.zeros((B, H))
         for t in reversed(range(T)):
             i, f, g, o = cache["gates"][t]
-            c = cache["cs"][t]
             c_prev = cache["cs_prev"][t]
             h_prev = cache["hs_prev"][t]
-            tanh_c = np.tanh(c)
+            tanh_c = cache["tanh_cs"][t]
             dh = dhs[:, t, :] + dh_next
             do = dh * tanh_c
             dc = dh * o * (1 - tanh_c**2) + dc_next
@@ -117,15 +134,11 @@ class LSTMLayer:
             df = dc * c_prev
             dg = dc * i
             dc_next = dc * f
-            dz = np.concatenate(
-                [
-                    di * i * (1 - i),
-                    df * f * (1 - f),
-                    dg * (1 - g**2),
-                    do * o * (1 - o),
-                ],
-                axis=1,
-            )
+            dz = np.empty((B, 4 * H))
+            np.multiply(di * i, 1 - i, out=dz[:, :H])
+            np.multiply(df * f, 1 - f, out=dz[:, H : 2 * H])
+            np.multiply(dg, 1 - g**2, out=dz[:, 2 * H : 3 * H])
+            np.multiply(do * o, 1 - o, out=dz[:, 3 * H :])
             dWx += dz.T @ x[:, t, :]
             dWh += dz.T @ h_prev
             db += dz.sum(axis=0)
@@ -155,11 +168,18 @@ class DenseLayer:
 
 
 def _sigmoid(z: np.ndarray) -> np.ndarray:
-    out = np.empty_like(z)
-    pos = z >= 0
-    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
-    ez = np.exp(z[~pos])
-    out[~pos] = ez / (1.0 + ez)
+    # Numerically stable split, evaluated branchlessly: ``exp(-|z|)`` never
+    # overflows and equals the stable branch's exponential on both sides
+    # (``exp(-z)`` for ``z >= 0``, ``exp(z)`` otherwise), so each element
+    # goes through bit-for-bit the same expression as the classic masked
+    # two-branch form — without its gather/scatter cost, which dominates on
+    # the small per-gate slices this sees.
+    e = np.abs(z)
+    np.negative(e, out=e)
+    np.exp(e, out=e)
+    out = np.where(z >= 0, 1.0, e)
+    e += 1.0  # e becomes the shared denominator
+    np.divide(out, e, out=out)
     return out
 
 

@@ -5,11 +5,18 @@ and the robust initialization estimate.  Every latency/cost number the
 Strategy Optimizer, Auto-scaler and baselines use flows through this class,
 so swapping profiled knowledge for oracle knowledge (OPT baseline) is a
 one-object change.
+
+Profiles are immutable, so predicted latencies are memoized per instance:
+the optimizer re-derives identical strategies every control window, and the
+memo turns those repeated latency-law evaluations (and downstream plan /
+candidate construction, see :mod:`repro.core.prewarming` and
+:mod:`repro.core.path_search`) into dictionary hits.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Any
 
 from repro.hardware.configs import Backend, HardwareConfig
 from repro.profiler.fitting import FittedLatencyModel
@@ -30,6 +37,12 @@ class FunctionProfile:
     init_cpu: InitTimeEstimate | None
     init_gpu: InitTimeEstimate | None
     n_sigma: float = DEFAULT_UNCERTAINTY
+    # Per-instance scratch cache for derived values (predicted latencies,
+    # plans, candidate lists).  Excluded from equality/hash/repr: it holds
+    # memoized *functions of* the frozen fields, never independent state.
+    _memo: dict[Any, Any] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def supports(self, backend: Backend) -> bool:
         """Whether this profile covers ``backend``."""
@@ -54,14 +67,26 @@ class FunctionProfile:
 
     def inference_time(self, config: HardwareConfig, batch: int = 1) -> float:
         """Predicted inference time (the ``I_k`` of §V-B)."""
-        resources = (
-            config.cpu_cores if config.backend is Backend.CPU else config.gpu_fraction
-        )
-        return self._model(config.backend).latency(resources, batch)
+        key = ("inf", config, batch)
+        cached = self._memo.get(key)
+        if cached is None:
+            resources = (
+                config.cpu_cores
+                if config.backend is Backend.CPU
+                else config.gpu_fraction
+            )
+            cached = self._model(config.backend).latency(resources, batch)
+            self._memo[key] = cached
+        return cached
 
     def init_time(self, config: HardwareConfig) -> float:
         """Robust initialization time ``mu + n*sigma`` (the ``T_k`` of §V-B)."""
-        return self._init(config.backend).robust(self.n_sigma)
+        key = ("init", config.backend)
+        cached = self._memo.get(key)
+        if cached is None:
+            cached = self._init(config.backend).robust(self.n_sigma)
+            self._memo[key] = cached
+        return cached
 
     def mean_init_time(self, config: HardwareConfig) -> float:
         """Plain-mean initialization time (the Fig. 11a strawman)."""

@@ -24,14 +24,17 @@ Scheduling policies (SMIless and the baselines) plug in through
 from repro.simulator.cluster import Cluster, Machine, Placement
 from repro.simulator.container import Instance, InstanceState
 from repro.simulator.engine import ServerlessSimulator, SimulationContext
-from repro.simulator.events import EventQueue
+from repro.simulator.events import EventQueue, TimerHandle
 from repro.simulator.invocation import FunctionDirective, Invocation, StageRecord
 from repro.simulator.metrics import InstanceUsage, RunMetrics
 from repro.simulator.multiapp import Deployment, MultiAppSimulator
+from repro.simulator.pools import InstancePool
 from repro.simulator.reporting import format_report
 
 __all__ = [
     "EventQueue",
+    "TimerHandle",
+    "InstancePool",
     "Machine",
     "Cluster",
     "Placement",

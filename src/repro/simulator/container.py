@@ -13,9 +13,13 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.hardware.configs import HardwareConfig
 from repro.simulator.cluster import Placement
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulator.events import TimerHandle
 
 _instance_ids = itertools.count()
 
@@ -47,6 +51,11 @@ class Instance:
     invocations_served: int = 0
     terminated_at: float | None = None
     expiry_epoch: int = 0  # invalidates stale keep-alive timers
+    # Pending keep-alive expiry timer; cancelled on dispatch/termination so
+    # dead closures never accumulate in the event heap.
+    expiry_timer: "TimerHandle | None" = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         self.warm_at = self.launched_at + self.init_duration

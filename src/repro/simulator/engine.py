@@ -19,6 +19,13 @@ Stage dispatch rules (the Gateway + per-instance Agent of §VI):
 - idle instances expire after ``directive.keep_alive`` seconds;
 - pre-warm requests launch instances at a policy-chosen time so
   initialization overlaps upstream execution (§V-B1).
+
+Hot-path structure (see ``docs/performance.md``): instance lifecycle state
+lives in per-function :class:`~repro.simulator.pools.InstancePool` indexes,
+arrivals and window ticks are *streamed* (each event schedules its
+successor on a pre-reserved sequence block, keeping the event heap
+O(live events) instead of O(trace length)), and keep-alive expiry timers
+are cancelled on dispatch instead of left to fire as dead closures.
 """
 
 from __future__ import annotations
@@ -37,6 +44,7 @@ from repro.simulator.container import Instance, InstanceState
 from repro.simulator.events import EventQueue
 from repro.simulator.invocation import FunctionDirective, Invocation
 from repro.simulator.metrics import InstanceUsage, RunMetrics
+from repro.simulator.pools import InstancePool
 from repro.utils.rng import ensure_rng
 from repro.workload.trace import Trace
 
@@ -100,19 +108,11 @@ class SimulationContext:
 
         With ``config`` given, count only instances of that configuration.
         """
-        return sum(
-            1
-            for i in self._sim.instances[function]
-            if i.is_live and (config is None or i.config == config)
-        )
+        return self._sim.pools[function].live_count(config)
 
     def idle_count(self, function: str) -> int:
         """Warm idle instances for ``function``."""
-        return sum(
-            1
-            for i in self._sim.instances[function]
-            if i.state is InstanceState.IDLE
-        )
+        return self._sim.pools[function].idle_count()
 
     def queue_length(self, function: str) -> int:
         """Stages queued for ``function``."""
@@ -166,8 +166,8 @@ class ServerlessSimulator:
         }
         self.metrics = RunMetrics(app=app.name, policy=policy.name, sla=app.sla)
         self.directives: dict[str, FunctionDirective] = {}
-        self.instances: dict[str, list[Instance]] = {
-            f: [] for f in app.function_names
+        self.pools: dict[str, InstancePool] = {
+            f: InstancePool() for f in app.function_names
         }
         self.queues: dict[str, deque[Invocation]] = {
             f: deque() for f in app.function_names
@@ -182,15 +182,23 @@ class ServerlessSimulator:
         self._current_window_count = 0
         self._open_invocations = 0
         self._shutting_down = False
+        self._arrival_seq_base = 0
+        self._tick_seq_base = 0
+        self._n_windows = 0
         self.ctx = SimulationContext(self)
 
     # ------------------------------------------------------------------ run
     def setup(self) -> None:
-        """Register the policy and enqueue arrivals + window ticks.
+        """Register the policy and start the arrival / window-tick streams.
 
         Split from :meth:`run` so several simulators can share one event
         queue and cluster (multi-application co-scheduling, §VII-A: the
         paper drives all three load generators simultaneously).
+
+        Arrivals and ticks are *streamed*: only the next event of each chain
+        sits in the heap, and it schedules its successor when it fires.
+        Sequence blocks are reserved up front so simultaneous events
+        tie-break exactly as a fully pre-pushed schedule would.
         """
         self.policy.on_register(self.app, self.ctx)
         for fn in self.app.function_names:
@@ -198,11 +206,14 @@ class ServerlessSimulator:
                 raise RuntimeError(
                     f"policy {self.policy.name!r} left function {fn!r} without a directive"
                 )
-        for t in self.trace.times:
-            self.events.schedule(float(t), self._make_arrival(float(t)))
-        n_windows = int(math.ceil(self.trace.duration / self.window))
-        for k in range(1, n_windows + 1):
-            self.events.schedule(k * self.window, self._make_window_tick())
+        n_arrivals = len(self.trace)
+        self._arrival_seq_base = self.events.reserve(n_arrivals)
+        self._n_windows = int(math.ceil(self.trace.duration / self.window))
+        self._tick_seq_base = self.events.reserve(self._n_windows)
+        if n_arrivals:
+            self._schedule_arrival(0)
+        if self._n_windows:
+            self._schedule_tick(1)
 
     def finalize(self) -> RunMetrics:
         """Terminate remaining instances and seal the metrics."""
@@ -226,8 +237,16 @@ class ServerlessSimulator:
         return self.finalize()
 
     # ------------------------------------------------------------- arrivals
-    def _make_arrival(self, t: float):
+    def _schedule_arrival(self, index: int) -> None:
+        t = float(self.trace.times[index])
+        self.events.schedule(
+            t, self._make_arrival(t, index), seq=self._arrival_seq_base + index
+        )
+
+    def _make_arrival(self, t: float, index: int):
         def fire() -> None:
+            if index + 1 < len(self.trace):
+                self._schedule_arrival(index + 1)
             inv = Invocation(app=self.app.name, arrival=t)
             inv.remaining = len(self.app)  # type: ignore[attr-defined]
             for fn in self.app.function_names:
@@ -250,8 +269,9 @@ class ServerlessSimulator:
     def _dispatch(self, fn: str) -> None:
         directive = self.directives[fn]
         queue = self.queues[fn]
+        pool = self.pools[fn]
         while queue:
-            inst = self._pick_idle_instance(fn, directive.config)
+            inst = pool.pick_idle(directive.config)
             if inst is None:
                 break
             # The batch limit is sized for the directive's configuration; a
@@ -264,29 +284,14 @@ class ServerlessSimulator:
         if queue:
             # Cover the backlog with launches, accounting for instances that
             # are already initializing and will drain the queue when warm.
-            initializing = sum(
-                1
-                for i in self.instances[fn]
-                if i.state is InstanceState.INITIALIZING
-            ) + len(self.pending_launches[fn])
+            initializing = pool.initializing_count() + len(
+                self.pending_launches[fn]
+            )
             capacity = initializing * directive.batch
             shortfall = len(queue) - capacity
             if shortfall > 0:
                 for _ in range(math.ceil(shortfall / directive.batch)):
                     self._launch(fn, directive.config)
-
-    def _pick_idle_instance(
-        self, fn: str, preferred: HardwareConfig
-    ) -> Instance | None:
-        idle = [
-            i for i in self.instances[fn] if i.state is InstanceState.IDLE
-        ]
-        if not idle:
-            return None
-        for inst in idle:
-            if inst.config == preferred:
-                return inst
-        return idle[0]
 
     def _execute(self, inst: Instance, items: list[Invocation]) -> None:
         now = self.events.now
@@ -303,6 +308,10 @@ class ServerlessSimulator:
             share = max(0, others) / machine.gpu_slots_total
             exec_time *= 1.0 + self.gpu_contention * share
         inst.mark_busy(now, batch_n)
+        self.pools[inst.function].transition(inst, InstanceState.IDLE)
+        if inst.expiry_timer is not None:
+            inst.expiry_timer.cancel()
+            inst.expiry_timer = None
         self.pending_stage_demand[inst.function] -= batch_n
         for inv in items:
             rec = inv.stage(inst.function)
@@ -324,6 +333,7 @@ class ServerlessSimulator:
         now = self.events.now
         inst.mark_idle(now, exec_time)
         fn = inst.function
+        self.pools[fn].transition(inst, InstanceState.BUSY)
         for inv in items:
             inv.stage(fn).finished_at = now
             inv.remaining -= 1  # type: ignore[attr-defined]
@@ -355,7 +365,7 @@ class ServerlessSimulator:
             launched_at=self.events.now,
             init_duration=init,
         )
-        self.instances[fn].append(inst)
+        self.pools[fn].add(inst)
         self.metrics.initializations += 1
         self.events.schedule_in(init, lambda: self._warmup_done(inst))
         return inst
@@ -377,6 +387,7 @@ class ServerlessSimulator:
                 self._launch(fn, cfg)
             return
         inst.mark_warm(self.events.now)
+        self.pools[inst.function].transition(inst, InstanceState.INITIALIZING)
         self._dispatch(inst.function)
         if inst.state is InstanceState.IDLE:
             self._arm_expiry(inst)
@@ -389,26 +400,29 @@ class ServerlessSimulator:
             keep_alive = max(keep_alive, directive.warm_grace)
         if math.isinf(keep_alive):
             return
-        epoch = inst.expiry_epoch
+        if inst.expiry_timer is not None:
+            inst.expiry_timer.cancel()
 
         def fire() -> None:
-            if (
-                inst.state is InstanceState.IDLE
-                and inst.expiry_epoch == epoch
-            ):
+            inst.expiry_timer = None
+            if inst.state is InstanceState.IDLE:
                 self._terminate(inst)
 
-        self.events.schedule_in(max(keep_alive, 0.0), fire)
+        inst.expiry_timer = self.events.schedule_in(max(keep_alive, 0.0), fire)
 
     def _terminate(self, inst: Instance) -> None:
         if not inst.is_live:
             return
+        if inst.expiry_timer is not None:
+            inst.expiry_timer.cancel()
+            inst.expiry_timer = None
+        prev_state = inst.state
         inst.mark_terminated(self.events.now)
         self.cluster.release(inst.placement)
         self.metrics.instances.append(
             InstanceUsage.from_instance(inst, self.events.now)
         )
-        self.instances[inst.function].remove(inst)
+        self.pools[inst.function].remove(inst, prev_state)
         self._retry_pending_launches()
 
     def _retry_pending_launches(self) -> None:
@@ -419,7 +433,10 @@ class ServerlessSimulator:
                 config = pending[0]
                 placement = self.cluster.try_allocate(config)
                 if placement is None:
-                    return
+                    # This function's head launch does not fit, but another
+                    # function's (smaller) pending launch still might: move
+                    # on rather than blocking the whole retry pass.
+                    break
                 self.cluster.release(placement)  # _launch re-allocates
                 pending.popleft()
                 self._launch(fn, config)
@@ -440,12 +457,7 @@ class ServerlessSimulator:
         def fire() -> None:
             directive = self.directives[function]
             cfg = config or directive.config
-            uncommitted = sum(
-                1
-                for i in self.instances[function]
-                if i.state in (InstanceState.INITIALIZING, InstanceState.IDLE)
-                and (config is None or i.config == config)
-            )
+            uncommitted = self.pools[function].uncommitted_count(config)
             # Instances already owed to open invocations — queued here or
             # still traversing upstream stages — don't count as available
             # for the upcoming invocation this warm-up targets.
@@ -459,22 +471,27 @@ class ServerlessSimulator:
         self.events.schedule(start_time, fire)
 
     # ------------------------------------------------------------- windows
-    def _make_window_tick(self):
+    def _schedule_tick(self, k: int) -> None:
+        self.events.schedule(
+            k * self.window,
+            self._make_window_tick(k),
+            seq=self._tick_seq_base + k - 1,
+        )
+
+    def _make_window_tick(self, k: int):
         def fire() -> None:
+            if k < self._n_windows:
+                self._schedule_tick(k + 1)
             self.window_counts.append(self._current_window_count)
             self.metrics.arrival_samples.append(
                 (self.events.now, self._current_window_count)
             )
             self._current_window_count = 0
             cpu_pods = gpu_pods = 0
-            for fleet in self.instances.values():
-                for inst in fleet:
-                    if not inst.is_live:
-                        continue
-                    if inst.config.backend is Backend.CPU:
-                        cpu_pods += 1
-                    else:
-                        gpu_pods += 1
+            for pool in self.pools.values():
+                cpu, gpu = pool.backend_live_counts()
+                cpu_pods += cpu
+                gpu_pods += gpu
             self.metrics.pod_samples.append((self.events.now, cpu_pods, gpu_pods))
             self.policy.on_window(self.events.now, self.ctx)
             self._enforce_min_warm()
@@ -484,53 +501,47 @@ class ServerlessSimulator:
     def _enforce_min_warm(self) -> None:
         now = self.events.now
         for fn, directive in self.directives.items():
-            live = [i for i in self.instances[fn] if i.is_live]
-            matching = [i for i in live if i.config == directive.config]
-            deficit = directive.min_warm - len(matching)
+            pool = self.pools[fn]
+            cfg = directive.config
+            # Snapshot before deficit launches: the sweep's fleet-size floor
+            # must not count instances launched within this very pass.
+            live_n = pool.live_count()
+            deficit = directive.min_warm - pool.live_count(cfg)
             for _ in range(deficit):
-                self._launch(fn, directive.config)
+                self._launch(fn, cfg)
             if deficit < 0 and math.isinf(directive.keep_alive):
                 # Always-on fleets are sized purely by min_warm: shed idle
                 # instances beyond the target.
                 excess = -deficit
-                for inst in [
-                    i for i in matching if i.state is InstanceState.IDLE
-                ][:excess]:
+                for inst in pool.idle_sorted(config=cfg)[:excess]:
                     self._terminate(inst)
             # Retire stale-config idle instances once the directive's own
             # configuration has *warm* coverage — retiring against merely
             # initializing replacements opens a cold window.
-            warm_matching = [
-                i
-                for i in matching
-                if i.state in (InstanceState.IDLE, InstanceState.BUSY)
-            ]
-            if len(warm_matching) >= max(directive.min_warm, 1):
-                for inst in live:
-                    if (
-                        inst.config != directive.config
-                        and inst.state is InstanceState.IDLE
-                    ):
+            if pool.warm_count(cfg) >= max(directive.min_warm, 1):
+                for inst in pool.idle_sorted():
+                    if inst.config != cfg:
                         self._terminate(inst)
             elif not math.isinf(directive.keep_alive):
                 # Sweep idle instances whose expiry timer was armed under a
                 # previous (longer or infinite) keep-alive directive.
-                for inst in live:
-                    if inst.state is not InstanceState.IDLE:
-                        continue
+                for inst in pool.idle_sorted():
                     grace = directive.keep_alive
                     if inst.batches_served == 0:
                         grace = max(grace, directive.warm_grace)
-                    if now - inst.idle_since > grace + 1e-9 and len(live) > directive.min_warm:
+                    if (
+                        now - inst.idle_since > grace + 1e-9
+                        and live_n > directive.min_warm
+                    ):
                         self._terminate(inst)
-                        live.remove(inst)
+                        live_n -= 1
 
     # ------------------------------------------------------------- teardown
     def _finalize(self) -> None:
         self._shutting_down = True
         now = self.events.now
-        for fleet in list(self.instances.values()):
-            for inst in list(fleet):
+        for pool in self.pools.values():
+            for inst in list(pool):
                 if inst.is_live:
                     self._terminate(inst)
         self.metrics.duration = now

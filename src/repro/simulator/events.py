@@ -1,26 +1,90 @@
 """Event queue: the simulator's clock and dispatch loop.
 
-A minimal but strict discrete-event core: events are ``(time, seq,
-callback)`` triples in a binary heap.  The monotonically increasing ``seq``
-makes simultaneous events fire in scheduling order, which keeps runs fully
+A minimal but strict discrete-event core: events are ``(time, seq, handle)``
+triples in a binary heap.  The monotonically increasing ``seq`` makes
+simultaneous events fire in scheduling order, which keeps runs fully
 deterministic for a fixed seed.
+
+Two facilities keep the heap small on long traces:
+
+- :meth:`EventQueue.schedule` returns a :class:`TimerHandle` whose
+  ``cancel()`` lazily deletes the entry (dead entries are skipped on pop and
+  compacted away once they outnumber live ones), so callers can retract
+  keep-alive expiry timers instead of leaving dead closures to fire as
+  no-ops;
+- :meth:`EventQueue.reserve` hands out a contiguous block of sequence
+  numbers up front, letting a *streamed* event source (the engine's
+  self-rescheduling arrival and window-tick chains) push events lazily while
+  preserving the exact tie-breaking order a pre-pushed schedule would have
+  had.  Heap size then stays proportional to the number of *live* events,
+  not to trace length.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 import math
 from typing import Callable
+
+#: Minimum number of cancelled entries before a compaction can trigger.
+COMPACT_MIN_DEAD = 16
+
+
+class TimerHandle:
+    """A scheduled event that can be cancelled before it fires."""
+
+    __slots__ = ("time", "seq", "_callback", "_queue")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[[], None],
+        queue: "EventQueue",
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self._callback = callback
+        self._queue = queue
+
+    @property
+    def active(self) -> bool:
+        """Whether the event is still pending (not fired, not cancelled)."""
+        return self._callback is not None
+
+    def cancel(self) -> bool:
+        """Retract the event; returns ``True`` if it was still pending.
+
+        Cancelling an already-fired or already-cancelled event is a no-op.
+        The heap entry is deleted lazily: it is skipped when it reaches the
+        top, and bulk-compacted when dead entries dominate the heap.
+        """
+        if self._callback is None:
+            return False
+        self._callback = None
+        queue, self._queue = self._queue, None
+        if queue is not None:
+            queue._note_cancel()
+        return True
+
+    def _fire(self) -> None:
+        callback = self._callback
+        self._callback = None
+        self._queue = None
+        assert callback is not None
+        callback()
 
 
 class EventQueue:
     """Time-ordered callback queue with deterministic tie-breaking."""
 
     def __init__(self) -> None:
-        self._heap: list[tuple[float, int, Callable[[], None]]] = []
-        self._seq = itertools.count()
+        self._heap: list[tuple[float, int, TimerHandle]] = []
+        self._seq = 0
         self._now = 0.0
+        self._dead = 0
+        self.processed = 0  # events fired over the queue's lifetime
+        self.compactions = 0  # dead-entry sweeps (introspection for tests)
 
     @property
     def now(self) -> float:
@@ -28,36 +92,98 @@ class EventQueue:
         return self._now
 
     def __len__(self) -> int:
+        """Number of *live* (non-cancelled) pending events."""
+        return len(self._heap) - self._dead
+
+    @property
+    def heap_size(self) -> int:
+        """Raw heap entry count, including cancelled-but-not-yet-swept ones."""
         return len(self._heap)
 
-    def schedule(self, time: float, callback: Callable[[], None]) -> None:
-        """Schedule ``callback`` at absolute ``time``.
+    def schedule(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        *,
+        seq: int | None = None,
+    ) -> TimerHandle:
+        """Schedule ``callback`` at absolute ``time``; returns its handle.
 
         Events scheduled in the past are clamped to *now* — a late pre-warm
-        request simply starts immediately, as on the real platform.
+        request simply starts immediately, as on the real platform.  ``seq``
+        may name a slot previously obtained from :meth:`reserve`; by default
+        the next fresh sequence number is used.
         """
         if not math.isfinite(time):
             raise ValueError(f"event time must be finite, got {time}")
-        heapq.heappush(self._heap, (max(time, self._now), next(self._seq), callback))
+        if seq is None:
+            seq = self._seq
+            self._seq += 1
+        handle = TimerHandle(max(time, self._now), seq, callback, self)
+        heapq.heappush(self._heap, (handle.time, handle.seq, handle))
+        return handle
 
-    def schedule_in(self, delay: float, callback: Callable[[], None]) -> None:
+    def schedule_in(self, delay: float, callback: Callable[[], None]) -> TimerHandle:
         """Schedule ``callback`` ``delay`` seconds from now."""
         if delay < 0:
             raise ValueError(f"delay must be >= 0, got {delay}")
-        self.schedule(self._now + delay, callback)
+        return self.schedule(self._now + delay, callback)
 
+    def reserve(self, n: int) -> int:
+        """Reserve ``n`` consecutive sequence numbers; returns the first.
+
+        A streamed event source (one event scheduling its successor) can
+        claim its tie-breaking slots up front, so lazily pushed events sort
+        against other producers exactly as if the whole stream had been
+        pre-pushed at reservation time.
+        """
+        if n < 0:
+            raise ValueError(f"reservation size must be >= 0, got {n}")
+        start = self._seq
+        self._seq += n
+        return start
+
+    # ------------------------------------------------------------- internals
+    def _note_cancel(self) -> None:
+        self._dead += 1
+        if self._dead >= COMPACT_MIN_DEAD and self._dead * 2 > len(self._heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without dead entries."""
+        self._heap = [e for e in self._heap if e[2].active]
+        heapq.heapify(self._heap)
+        self._dead = 0
+        self.compactions += 1
+
+    def _prune_head(self) -> None:
+        """Drop cancelled entries sitting at the top of the heap."""
+        heap = self._heap
+        while heap and not heap[0][2].active:
+            heapq.heappop(heap)
+            self._dead -= 1
+
+    # ------------------------------------------------------------------ run
     def step(self) -> bool:
-        """Fire the earliest event; returns False when the queue is empty."""
-        if not self._heap:
-            return False
-        time, _, callback = heapq.heappop(self._heap)
-        self._now = time
-        callback()
-        return True
+        """Fire the earliest live event; returns False when none remain."""
+        heap = self._heap
+        while heap:
+            time, _, handle = heapq.heappop(heap)
+            if not handle.active:
+                self._dead -= 1
+                continue
+            self._now = time
+            self.processed += 1
+            handle._fire()
+            return True
+        return False
 
     def run_until(self, horizon: float) -> None:
         """Fire events in order until the queue empties or passes ``horizon``."""
-        while self._heap and self._heap[0][0] <= horizon:
+        while True:
+            self._prune_head()
+            if not self._heap or self._heap[0][0] > horizon:
+                break
             self.step()
         self._now = max(self._now, horizon)
 

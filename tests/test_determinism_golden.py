@@ -1,0 +1,66 @@
+"""Golden determinism regression for the hot-path refactor.
+
+The indexed pools, streamed arrivals, cancellable timers and memoized
+performance models are pure optimizations: they must not change any
+simulated outcome.  These goldens were captured from the pre-optimization
+engine (flat instance lists, pre-pushed arrivals, epoch-checked expiry
+closures, unmemoized models) on a fixed seed; exact equality guards the
+whole refactor, bit for bit.
+"""
+
+import pytest
+
+from repro.experiments import build_environment
+from repro.simulator import ServerlessSimulator
+
+GOLDEN = {
+    "smiless": {
+        "total_cost": 0.021234276514211513,
+        "violation_ratio": 0.0625,
+        "invocations": 32.0,
+        "mean_latency": 1.8374996431873079,
+        "p99_latency": 4.176380256244681,
+        "reinit_fraction": 0.0234375,
+        "cpu_cost": 0.009589276514211511,
+        "gpu_cost": 0.011645000000000003,
+    },
+    "grandslam": {
+        "total_cost": 0.04533333333333334,
+        "violation_ratio": 0.0,
+        "invocations": 32.0,
+        "mean_latency": 1.1689839044284174,
+        "p99_latency": 1.3531786860133097,
+        "reinit_fraction": 0.0,
+        "cpu_cost": 0.04533333333333334,
+        "gpu_cost": 0,
+    },
+}
+
+
+@pytest.fixture(scope="module")
+def environment():
+    return build_environment(
+        "image-query", preset="steady", sla=2.0, duration=150.0, seed=0
+    )
+
+
+@pytest.mark.parametrize("policy", sorted(GOLDEN))
+def test_summary_bit_identical_to_pre_refactor_engine(environment, policy):
+    env = environment
+    metrics = ServerlessSimulator(
+        env.app, env.trace, env.make_policy(policy), seed=3
+    ).run()
+    summary = metrics.summary()
+    assert summary == GOLDEN[policy]
+
+
+def test_back_to_back_runs_identical(environment):
+    """Memo caches warmed by a first run must not perturb a second one."""
+    env = environment
+
+    def one_run():
+        return ServerlessSimulator(
+            env.app, env.trace, env.make_policy("smiless"), seed=3
+        ).run().summary()
+
+    assert one_run() == one_run()

@@ -1,0 +1,90 @@
+"""Engine-level tests for the hot-path behaviors: pending-launch retries
+across functions and event-heap boundedness on long traces."""
+
+import numpy as np
+
+from repro.dag import linear_pipeline
+from repro.hardware import HardwareConfig
+from repro.policies import AlwaysOnPolicy
+from repro.simulator import Cluster, ServerlessSimulator
+from repro.workload import Trace
+
+
+class TestRetryPendingLaunches:
+    def test_one_blocked_function_does_not_starve_others(self):
+        """Regression: the retry pass used to stop at the first function
+        whose pending configuration did not fit, never reaching other
+        functions' smaller pending launches."""
+        cluster = Cluster.build(n_machines=1, cores_per_machine=8)
+        app = linear_pipeline(2, models=("IR", "DB"))
+        sim = ServerlessSimulator(
+            app,
+            Trace([50.0], duration=60.0),
+            AlwaysOnPolicy(HardwareConfig.cpu(2)),
+            cluster=cluster,
+            seed=0,
+        )
+        sim.setup()
+        blocked_fn, small_fn = app.function_names
+
+        hold_big = cluster.try_allocate(HardwareConfig.cpu(4))
+        hold_small = cluster.try_allocate(HardwareConfig.cpu(2))
+        assert hold_big is not None and hold_small is not None
+
+        sim.pending_launches[blocked_fn].append(HardwareConfig.cpu(8))
+        sim.pending_launches[small_fn].append(HardwareConfig.cpu(2))
+
+        # Free 2 cores: the first function's cpu(8) launch still cannot
+        # fit, but the second function's cpu(2) launch now can.
+        cluster.release(hold_small)
+        sim._retry_pending_launches()
+
+        assert list(sim.pending_launches[blocked_fn]) == [HardwareConfig.cpu(8)]
+        assert not sim.pending_launches[small_fn]
+        assert sim.pools[small_fn].initializing_count() == 1
+
+    def test_multiple_pending_same_function_drain_in_order(self):
+        cluster = Cluster.build(n_machines=1, cores_per_machine=8)
+        app = linear_pipeline(1, models=("IR",))
+        sim = ServerlessSimulator(
+            app,
+            Trace([50.0], duration=60.0),
+            AlwaysOnPolicy(HardwareConfig.cpu(2)),
+            cluster=cluster,
+            seed=0,
+        )
+        sim.setup()
+        (fn,) = app.function_names
+        hold = cluster.try_allocate(HardwareConfig.cpu(8))
+        sim.pending_launches[fn].extend(
+            [HardwareConfig.cpu(2), HardwareConfig.cpu(2), HardwareConfig.cpu(8)]
+        )
+        cluster.release(hold)
+        sim._retry_pending_launches()
+        # Both cpu(2) launches fit (4 of 8 cores); the cpu(8) head remains.
+        assert list(sim.pending_launches[fn]) == [HardwareConfig.cpu(8)]
+        assert sim.pools[fn].initializing_count() == 2
+
+
+class TestHeapBoundedness:
+    def test_heap_stays_o_live_events_on_10k_invocation_trace(self):
+        """With streamed arrivals the heap holds the *next* arrival and
+        tick plus in-flight work — not the entire 10k-event trace."""
+        times = (np.arange(10_000) * 0.05 + 0.01).tolist()
+        trace = Trace(times, duration=510.0)
+        app = linear_pipeline(1, models=("IR",))
+        sim = ServerlessSimulator(
+            app, trace, AlwaysOnPolicy(HardwareConfig.cpu(16)), seed=0
+        )
+        sim.setup()
+        assert sim.events.heap_size < 10, "arrivals must not be pre-pushed"
+        max_heap = sim.events.heap_size
+        while sim.events.step():
+            max_heap = max(max_heap, sim.events.heap_size)
+        metrics = sim.finalize()
+        assert metrics.unfinished == 0
+        assert len(metrics.invocations) == 10_000
+        # Far below the 10k pre-pushed arrivals the old engine held; the
+        # bound covers live instances' events plus the two stream heads.
+        assert max_heap < 500
+        assert sim.events.processed >= 20_000
