@@ -12,7 +12,10 @@ Two modes:
   end-to-end speedup acceptance assert against the recorded seed baseline;
 - **smoke** (``SMILESS_BENCH_SMOKE=1``): duration 40 s, single repeat, no
   speedup assert (the baseline constant was measured at duration 150).
-  Used by CI to exercise the harness cheaply.
+  Used by CI to exercise the harness cheaply.  When a recorded smoke
+  baseline exists (``benchmarks/results/BENCH_smoke_baseline.json``),
+  smoke mode asserts the serial grid has not regressed past
+  ``MAX_SMOKE_REGRESSION`` times the recorded wall-clock.
 
 Both modes assert that the 4-worker grid returns bit-identical summaries
 to the serial grid — the determinism contract of the parallel runner.
@@ -56,6 +59,13 @@ SEED_BASELINE_SECONDS = 17.05
 #: Acceptance floor for the optimized engine (indexed pools + cancellable
 #: timers + memoized perf models + predictor cache) on the same grid.
 MIN_SPEEDUP = 3.0
+
+#: Recorded smoke-mode wall-clock (same container class as CI); smoke runs
+#: fail if the serial grid slows past this factor of the recording.
+SMOKE_BASELINE_JSON = (
+    REPO_ROOT / "benchmarks" / "results" / "BENCH_smoke_baseline.json"
+)
+MAX_SMOKE_REGRESSION = 1.3
 
 
 def _clear_caches() -> None:
@@ -140,4 +150,13 @@ def test_perf_microbench():
             f"grid took {best_seconds:.2f}s against the "
             f"{SEED_BASELINE_SECONDS:.2f}s seed baseline "
             f"({speedup:.2f}x < {MIN_SPEEDUP}x)"
+        )
+    elif SMOKE_BASELINE_JSON.exists():
+        recorded = json.loads(SMOKE_BASELINE_JSON.read_text())
+        limit = MAX_SMOKE_REGRESSION * recorded["serial_seconds"]
+        assert serial_seconds <= limit, (
+            f"smoke grid took {serial_seconds:.2f}s serially, past "
+            f"{MAX_SMOKE_REGRESSION}x the recorded "
+            f"{recorded['serial_seconds']:.2f}s baseline "
+            f"(recorded at {recorded.get('recorded_at', 'unknown')})"
         )

@@ -5,6 +5,8 @@ Subcommands wrap the :mod:`repro.experiments` runners:
 - ``compare``   — serve one application under several policies
 - ``sweep``     — SLA sweep under one policy
 - ``multiapp``  — co-run all three evaluation apps on one cluster
+- ``scenario``  — run a declarative JSON scenario spec (apps × policies ×
+  SLAs × presets × seeds, optionally co-run) through the experiment grid
 - ``profile``   — print a function's profiled latency/init models
 - ``apps``      — list the built-in applications and workload presets
 
@@ -12,7 +14,8 @@ Examples::
 
     python -m repro.cli compare image-query --preset diurnal --duration 300
     python -m repro.cli sweep amber-alert --slas 1 2 4 8
-    python -m repro.cli multiapp --policy smiless
+    python -m repro.cli multiapp --policy smiless --workers 2
+    python -m repro.cli scenario spec.json --workers 4
     python -m repro.cli profile TRS
 """
 
@@ -22,9 +25,11 @@ import argparse
 import sys
 
 from repro.experiments import (
+    ScenarioSpec,
     build_environment,
     run_comparison,
     run_multi_app,
+    run_scenario,
     run_sla_sweep,
 )
 from repro.experiments.runners import APP_BUILDERS, POLICY_NAMES
@@ -90,12 +95,37 @@ def cmd_multiapp(args) -> int:
         f"Co-running {len(envs)} applications on one shared cluster "
         f"under {args.policy!r}\n"
     )
-    results = run_multi_app(envs, args.policy)
+    results = run_multi_app(envs, args.policy, workers=args.workers)
     _print_rows(
         [row for _, row in sorted(results.items())]
     )
     total = sum(r.total_cost for r in results.values())
     print(f"\ntotal cluster bill: ${total:.4f}")
+    return 0
+
+
+def cmd_scenario(args) -> int:
+    spec = ScenarioSpec.from_json(args.spec)
+    n_cells = len(spec.cells())
+    print(
+        f"scenario: {len(spec.apps)} app(s) x {len(spec.policies)} "
+        f"policy(ies) x {len(spec.slas)} SLA(s) x {len(spec.presets)} "
+        f"preset(s) x {len(spec.seeds)} seed(s) -> {n_cells} cell(s)"
+        f"{' [co-run]' if spec.co_run else ''}\n"
+    )
+    rows = run_scenario(spec, workers=args.workers)
+    print(
+        f"{'app':<16} {'preset':<8} {'sla':>5} {'policy':<16} {'cost':>9} "
+        f"{'violations':>11} {'mean lat':>9} {'p99 lat':>8} {'reinit':>7}"
+    )
+    for s in rows:
+        r = s.row
+        print(
+            f"{s.app:<16} {s.preset:<8} {s.sla:>4.1f}s {s.policy:<16} "
+            f"${r.total_cost:>8.4f} {r.violation_ratio:>10.1%} "
+            f"{r.mean_latency:>8.2f}s {r.p99_latency:>7.2f}s "
+            f"{r.reinit_fraction:>6.1%}"
+        )
     return 0
 
 
@@ -205,8 +235,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("multiapp", help="co-run the three evaluation apps")
     p.add_argument("--policy", default="smiless", choices=POLICY_NAMES)
-    common(p)
+    common(p, workers=True)
     p.set_defaults(func=cmd_multiapp)
+
+    p = sub.add_parser(
+        "scenario", help="run a declarative JSON scenario spec"
+    )
+    p.add_argument("spec", help="path to a ScenarioSpec JSON file")
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the experiment grid (1 = serial)",
+    )
+    p.set_defaults(func=cmd_scenario)
 
     p = sub.add_parser("report", help="serve one app and print the full report")
     p.add_argument("app", choices=sorted(APP_BUILDERS))

@@ -46,6 +46,21 @@ class CellSpec:
 
 
 @dataclass(frozen=True)
+class MultiAppCellSpec:
+    """One co-run cell: several environments sharing a cluster (§VII-A).
+
+    ``seeding`` selects the per-app seed derivation of
+    :class:`~repro.simulator.multiapp.MultiAppSimulator` ("name" is
+    order-independent, "legacy" positional).
+    """
+
+    envs: tuple[EnvSpec, ...]
+    policy: str
+    sim_seed: int = 3
+    seeding: str = "name"
+
+
+@dataclass(frozen=True)
 class CellResult:
     """Outcome of one cell, with timing for the perf microbench."""
 
@@ -77,8 +92,15 @@ def _environment(spec: EnvSpec):
     )
 
 
-def run_cell(spec: CellSpec) -> CellResult:
-    """Build the cell's environment, serve its trace, and time the run."""
+def run_cell(spec: CellSpec | MultiAppCellSpec) -> CellResult:
+    """Build the cell's environment(s), serve the trace(s), time the run.
+
+    A :class:`CellSpec` runs one app solo; a :class:`MultiAppCellSpec`
+    co-runs its apps on one shared cluster and reports a summary dict
+    keyed by app name.
+    """
+    if isinstance(spec, MultiAppCellSpec):
+        return _run_multiapp_cell(spec)
     from repro.simulator import ServerlessSimulator
 
     env = _environment(spec.env)
@@ -98,8 +120,30 @@ def run_cell(spec: CellSpec) -> CellResult:
     )
 
 
+def _run_multiapp_cell(spec: MultiAppCellSpec) -> CellResult:
+    from repro.simulator import Deployment, MultiAppSimulator
+
+    envs = [_environment(e) for e in spec.envs]
+    start = time.perf_counter()
+    deployments = [
+        Deployment(env.app, env.trace, env.make_policy(spec.policy))
+        for env in envs
+    ]
+    sim = MultiAppSimulator(
+        deployments, seed=spec.sim_seed, seeding=spec.seeding
+    )
+    results = sim.run()
+    wall = time.perf_counter() - start
+    return CellResult(
+        spec=spec,
+        summary={name: m.summary() for name, m in results.items()},
+        wall_clock=wall,
+        events_processed=sim.events.processed,
+    )
+
+
 def run_grid(
-    cells: Sequence[CellSpec], *, workers: int = 1
+    cells: Sequence[CellSpec | MultiAppCellSpec], *, workers: int = 1
 ) -> list[CellResult]:
     """Run every cell, fanning across ``workers`` processes when > 1.
 
@@ -125,22 +169,20 @@ def product_grid(
     train_duration: float = 3600.0,
     env_seed: int = 0,
 ) -> list[CellSpec]:
-    """The (app × sla × policy × seed) cell product, in deterministic order."""
-    return [
-        CellSpec(
-            env=EnvSpec(
-                app=app,
-                preset=preset,
-                sla=sla,
-                duration=duration,
-                train_duration=train_duration,
-                seed=env_seed,
-            ),
-            policy=policy,
-            sim_seed=seed,
-        )
-        for app in apps
-        for sla in slas
-        for policy in policies
-        for seed in seeds
-    ]
+    """The (app × sla × policy × seed) cell product, in deterministic order.
+
+    Thin wrapper over the :class:`~repro.experiments.scenario.ScenarioSpec`
+    compiler — the one place cell products are built.
+    """
+    from repro.experiments.scenario import ScenarioSpec
+
+    return ScenarioSpec(
+        apps=tuple(apps),
+        policies=tuple(policies),
+        slas=tuple(slas),
+        seeds=tuple(seeds),
+        presets=(preset,),
+        duration=duration,
+        train_duration=train_duration,
+        env_seed=env_seed,
+    ).cells()

@@ -1,26 +1,39 @@
-"""Experiment runners: environments, comparisons, sweeps, co-runs."""
+"""Experiment runners: environments, comparisons, sweeps, co-runs.
+
+Every runner compiles its axes through the
+:class:`~repro.experiments.scenario.ScenarioSpec` compiler and executes
+through :func:`~repro.experiments.parallel.run_grid` — serial execution is
+``workers=1`` on the same path, not a separate branch.  Hand-rolled
+environments (``env.spec is None``) cannot be rebuilt inside worker
+processes; those fall back to direct in-process execution and *warn* when
+``workers > 1`` was requested.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.dag import amber_alert, image_query, voice_assistant
 from repro.dag.graph import AppDAG
-from repro.experiments.parallel import CellSpec, EnvSpec, run_grid
-from repro.policies import (
-    AquatopePolicy,
-    GrandSLAmPolicy,
-    IceBreakerPolicy,
-    OptimalPolicy,
-    OrionPolicy,
-    SMIlessHomoPolicy,
-    SMIlessNoDagPolicy,
-    SMIlessPolicy,
+from repro.experiments.parallel import (
+    CellSpec,
+    EnvSpec,
+    MultiAppCellSpec,
+    run_grid,
 )
+from repro.experiments.scenario import ScenarioSpec
+from repro.policies import make_policy as registry_make_policy
+from repro.policies import policy_names
 from repro.profiler import OfflineProfiler, oracle_profile
-from repro.simulator import Deployment, MultiAppSimulator, RunMetrics, ServerlessSimulator
+from repro.simulator import (
+    Deployment,
+    MultiAppSimulator,
+    RunMetrics,
+    ServerlessSimulator,
+)
 from repro.workload import AzureLikeWorkload, Trace
 
 APP_BUILDERS = {
@@ -29,16 +42,19 @@ APP_BUILDERS = {
     "voice-assistant": voice_assistant,
 }
 
-POLICY_NAMES = (
-    "smiless",
-    "orion",
-    "icebreaker",
-    "grandslam",
-    "aquatope",
-    "opt",
-    "smiless-no-dag",
-    "smiless-homo",
-)
+#: All registered policy names (see :mod:`repro.policies.registry`).
+POLICY_NAMES = policy_names()
+
+
+def _warn_serial_fallback(what: str, workers: int) -> None:
+    warnings.warn(
+        f"{what} carries no build spec (env.spec is None), so it cannot be "
+        f"rebuilt in worker processes; ignoring workers={workers} and "
+        "running serially in-process. Build environments with "
+        "build_environment() to enable parallel execution.",
+        RuntimeWarning,
+        stacklevel=3,
+    )
 
 
 @dataclass
@@ -56,26 +72,8 @@ class Environment:
     spec: EnvSpec | None = None
 
     def make_policy(self, name: str):
-        """Instantiate a policy by registry name."""
-        if name == "smiless":
-            return SMIlessPolicy(self.profiles, train_counts=self.train_counts)
-        if name == "smiless-no-dag":
-            return SMIlessNoDagPolicy(self.profiles, train_counts=self.train_counts)
-        if name == "smiless-homo":
-            return SMIlessHomoPolicy(self.profiles, train_counts=self.train_counts)
-        if name == "orion":
-            return OrionPolicy(self.profiles)
-        if name == "icebreaker":
-            return IceBreakerPolicy(self.profiles, train_counts=self.train_counts)
-        if name == "grandslam":
-            return GrandSLAmPolicy(self.profiles)
-        if name == "aquatope":
-            return AquatopePolicy(self.profiles)
-        if name == "opt":
-            return OptimalPolicy(self.oracle, self.trace)
-        raise KeyError(
-            f"unknown policy {name!r}; available: {', '.join(POLICY_NAMES)}"
-        )
+        """Instantiate a policy by registry name (see ``repro.policies.registry``)."""
+        return registry_make_policy(name, self)
 
 
 def build_environment(
@@ -152,26 +150,29 @@ def run_comparison(
 ) -> list[ComparisonRow]:
     """Serve the environment's trace under each policy.
 
-    With ``workers > 1`` (and an environment that carries its build spec),
-    policies run in parallel worker processes; summaries are identical to a
-    serial run.
+    Compiles to grid cells through the scenario compiler and runs through
+    :func:`run_grid` — with ``workers > 1`` policies fan across worker
+    processes, and summaries are identical to a serial run.
     """
-    if workers > 1 and env.spec is not None:
-        cells = [
-            CellSpec(env=env.spec, policy=name, sim_seed=seed)
+    if env.spec is None:
+        if workers > 1:
+            _warn_serial_fallback("run_comparison environment", workers)
+        return [
+            ComparisonRow.from_metrics(
+                name,
+                ServerlessSimulator(
+                    env.app, env.trace, env.make_policy(name), seed=seed
+                ).run(),
+            )
             for name in policies
         ]
-        return [
-            ComparisonRow.from_summary(res.spec.policy, res.summary)
-            for res in run_grid(cells, workers=workers)
-        ]
-    rows = []
-    for name in policies:
-        metrics = ServerlessSimulator(
-            env.app, env.trace, env.make_policy(name), seed=seed
-        ).run()
-        rows.append(ComparisonRow.from_metrics(name, metrics))
-    return rows
+    scenario = ScenarioSpec.for_environment(
+        env.spec, policies=tuple(policies), seeds=(seed,)
+    )
+    return [
+        ComparisonRow.from_summary(res.spec.policy, res.summary)
+        for res in run_grid(scenario.cells(), workers=workers)
+    ]
 
 
 def run_sla_sweep(
@@ -184,57 +185,140 @@ def run_sla_sweep(
 ) -> list[tuple[float, ComparisonRow]]:
     """Re-serve the trace at each SLA target under one policy.
 
-    With ``workers > 1`` the SLA points run in parallel worker processes.
+    With ``workers > 1`` the SLA points run in parallel worker processes,
+    through the same grid path a serial run uses.
     """
-    if workers > 1 and env.spec is not None:
-        cells = [
-            CellSpec(
-                env=EnvSpec(
-                    app=env.spec.app,
-                    preset=env.spec.preset,
-                    sla=sla,
-                    duration=env.spec.duration,
-                    train_duration=env.spec.train_duration,
-                    seed=env.spec.seed,
-                ),
-                policy=policy,
-                sim_seed=seed,
+    if env.spec is None:
+        if workers > 1:
+            _warn_serial_fallback("run_sla_sweep environment", workers)
+        out = []
+        for sla in slas:
+            app = env.app.with_sla(sla)
+            tuned = Environment(
+                app=app,
+                profiles=env.profiles,
+                oracle=env.oracle,
+                train_counts=env.train_counts,
+                trace=env.trace,
             )
-            for sla in slas
-        ]
-        return [
-            (sla, ComparisonRow.from_summary(policy, res.summary))
-            for sla, res in zip(slas, run_grid(cells, workers=workers))
-        ]
-    out = []
-    for sla in slas:
-        app = env.app.with_sla(sla)
-        tuned = Environment(
-            app=app,
-            profiles=env.profiles,
-            oracle=env.oracle,
-            train_counts=env.train_counts,
-            trace=env.trace,
-        )
-        metrics = ServerlessSimulator(
-            app, env.trace, tuned.make_policy(policy), seed=seed
-        ).run()
-        out.append((sla, ComparisonRow.from_metrics(policy, metrics)))
-    return out
+            metrics = ServerlessSimulator(
+                app, env.trace, tuned.make_policy(policy), seed=seed
+            ).run()
+            out.append((sla, ComparisonRow.from_metrics(policy, metrics)))
+        return out
+    scenario = ScenarioSpec.for_environment(
+        env.spec, policies=(policy,), slas=tuple(slas), seeds=(seed,)
+    )
+    return [
+        (sla, ComparisonRow.from_summary(policy, res.summary))
+        for sla, res in zip(slas, run_grid(scenario.cells(), workers=workers))
+    ]
 
 
 def run_multi_app(
     envs: list[Environment],
-    policy: str = "smiless",
+    policies: str | tuple[str, ...] = "smiless",
     *,
     seed: int = 3,
-) -> dict[str, ComparisonRow]:
-    """Co-run several environments on one shared cluster (§VII-A)."""
-    deployments = [
-        Deployment(env.app, env.trace, env.make_policy(policy)) for env in envs
-    ]
-    results = MultiAppSimulator(deployments, seed=seed).run()
-    return {
-        name: ComparisonRow.from_metrics(policy, metrics)
-        for name, metrics in results.items()
-    }
+    workers: int = 1,
+    seeding: str = "name",
+) -> dict[str, ComparisonRow] | dict[str, dict[str, ComparisonRow]]:
+    """Co-run several environments on one shared cluster (§VII-A).
+
+    With a single policy name the return value is ``{app: row}``; with a
+    tuple of policies it is ``{policy: {app: row}}`` and ``workers > 1``
+    fans one co-run cell per policy across worker processes (through the
+    same :func:`run_grid` path as serial execution).
+    """
+    if not envs:
+        raise ValueError("need at least one environment")
+    single = isinstance(policies, str)
+    names = (policies,) if single else tuple(policies)
+    specs = [env.spec for env in envs]
+    if any(spec is None for spec in specs):
+        if workers > 1:
+            _warn_serial_fallback("run_multi_app environment", workers)
+        results = {}
+        for name in names:
+            deployments = [
+                Deployment(env.app, env.trace, env.make_policy(name))
+                for env in envs
+            ]
+            metrics = MultiAppSimulator(
+                deployments, seed=seed, seeding=seeding
+            ).run()
+            results[name] = {
+                app: ComparisonRow.from_metrics(name, m)
+                for app, m in metrics.items()
+            }
+    else:
+        cells = [
+            MultiAppCellSpec(
+                envs=tuple(specs), policy=name, sim_seed=seed, seeding=seeding
+            )
+            for name in names
+        ]
+        results = {
+            res.spec.policy: {
+                app: ComparisonRow.from_summary(res.spec.policy, summary)
+                for app, summary in res.summary.items()
+            }
+            for res in run_grid(cells, workers=workers)
+        }
+    return results[names[0]] if single else results
+
+
+@dataclass(frozen=True)
+class ScenarioRow:
+    """One (app, policy) outcome of a scenario cell, with its coordinates."""
+
+    app: str
+    preset: str
+    sla: float
+    env_seed: int
+    sim_seed: int
+    policy: str
+    row: ComparisonRow
+
+
+def run_scenario(
+    scenario: ScenarioSpec, *, workers: int = 1
+) -> list[ScenarioRow]:
+    """Compile and run a scenario end-to-end; one row per (app, policy) cell.
+
+    Co-run cells expand to one row per co-resident app so the output shape
+    is uniform across solo and multi-tenant scenarios.
+    """
+    rows: list[ScenarioRow] = []
+    for res in run_grid(scenario.cells(), workers=workers):
+        if isinstance(res.spec, MultiAppCellSpec):
+            by_app = {e.app: e for e in res.spec.envs}
+            for app_name, summary in res.summary.items():
+                env = by_app[app_name]
+                rows.append(
+                    ScenarioRow(
+                        app=app_name,
+                        preset=env.preset,
+                        sla=env.sla,
+                        env_seed=env.seed,
+                        sim_seed=res.spec.sim_seed,
+                        policy=res.spec.policy,
+                        row=ComparisonRow.from_summary(
+                            res.spec.policy, summary
+                        ),
+                    )
+                )
+        else:
+            env = res.spec.env
+            rows.append(
+                ScenarioRow(
+                    app=env.app,
+                    preset=env.preset,
+                    sla=env.sla,
+                    env_seed=env.seed,
+                    sim_seed=res.spec.sim_seed,
+                    policy=res.spec.policy,
+                    row=ComparisonRow.from_summary(res.spec.policy, res.summary),
+                )
+            )
+    return rows

@@ -1,0 +1,176 @@
+"""Declarative scenario specs: (apps × policies × SLAs × presets × seeds).
+
+A :class:`ScenarioSpec` is a picklable, JSON-loadable description of a
+figure-style experiment.  Its :meth:`~ScenarioSpec.cells` compiler is the
+*single* place that turns experiment axes into grid cells
+(:class:`~repro.experiments.parallel.CellSpec` for solo runs,
+:class:`~repro.experiments.parallel.MultiAppCellSpec` for co-runs), so
+``run_comparison``, ``run_sla_sweep``, ``run_multi_app`` and the
+``repro scenario`` CLI all flow through one
+:func:`~repro.experiments.parallel.run_grid` execution path — serial is
+``workers=1``, not a separate code branch.
+
+Example (JSON accepted by ``python -m repro.cli scenario spec.json``)::
+
+    {
+      "apps": ["image-query", "amber-alert"],
+      "policies": ["smiless", "grandslam"],
+      "slas": [1.0, 2.0, 4.0],
+      "presets": ["steady"],
+      "seeds": [3],
+      "duration": 300.0
+    }
+
+With ``"co_run": true`` the listed applications share one cluster per
+cell (the paper's §VII-A setting) instead of running solo.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, fields
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.experiments.parallel import CellSpec, EnvSpec, MultiAppCellSpec
+
+__all__ = ["ScenarioSpec"]
+
+
+def _tuple(value: Any) -> tuple:
+    """Normalize a JSON scalar-or-list axis to a tuple."""
+    if isinstance(value, (list, tuple)):
+        return tuple(value)
+    return (value,)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One experiment scenario: the cross product of its axes."""
+
+    apps: tuple[str, ...]
+    policies: tuple[str, ...]
+    slas: tuple[float, ...] = (2.0,)
+    presets: tuple[str, ...] = ("steady",)
+    seeds: tuple[int, ...] = (3,)
+    duration: float = 600.0
+    train_duration: float = 3600.0
+    env_seed: int = 0
+    #: Co-run all ``apps`` on one shared cluster per cell (§VII-A) instead
+    #: of simulating each app solo.
+    co_run: bool = False
+    #: Per-app seeding for co-run cells: "name" (order-independent) or
+    #: "legacy" (positional, pre-refactor compatible).
+    seeding: str = "name"
+
+    def __post_init__(self) -> None:
+        if not self.apps:
+            raise ValueError("scenario needs at least one app")
+        if not self.policies:
+            raise ValueError("scenario needs at least one policy")
+        for axis in ("slas", "presets", "seeds"):
+            if not getattr(self, axis):
+                raise ValueError(f"scenario axis {axis!r} must be non-empty")
+
+    # ------------------------------------------------------------- loading
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        """Build a spec from a plain dict (e.g. parsed JSON).
+
+        Scalar axis values are promoted to one-element tuples; unknown
+        keys are rejected with the list of valid ones.
+        """
+        valid = {f.name for f in fields(cls)}
+        unknown = set(data) - valid
+        if unknown:
+            raise KeyError(
+                f"unknown scenario keys {sorted(unknown)}; "
+                f"valid keys: {sorted(valid)}"
+            )
+        kwargs: dict[str, Any] = dict(data)
+        for axis in ("apps", "policies", "slas", "presets", "seeds"):
+            if axis in kwargs:
+                kwargs[axis] = _tuple(kwargs[axis])
+        return cls(**kwargs)
+
+    @classmethod
+    def from_json(cls, path: str | Path) -> "ScenarioSpec":
+        """Load a spec from a JSON file."""
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    @classmethod
+    def for_environment(
+        cls,
+        env: EnvSpec,
+        *,
+        policies: Sequence[str],
+        slas: Sequence[float] | None = None,
+        seeds: Sequence[int] = (3,),
+    ) -> "ScenarioSpec":
+        """Scenario over one already-specified environment recipe.
+
+        The canonical way runners re-expand a built environment into grid
+        cells: every axis not overridden is pinned to the environment's
+        own values.
+        """
+        return cls(
+            apps=(env.app,),
+            policies=tuple(policies),
+            slas=tuple(slas) if slas is not None else (env.sla,),
+            presets=(env.preset,),
+            seeds=tuple(seeds),
+            duration=env.duration,
+            train_duration=env.train_duration,
+            env_seed=env.seed,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Round-trippable plain-dict form (JSON-serializable)."""
+        return asdict(self)
+
+    # ------------------------------------------------------------ compiling
+    def cells(self) -> list[CellSpec | MultiAppCellSpec]:
+        """Compile the scenario to grid cells, in deterministic order.
+
+        Solo scenarios produce one :class:`CellSpec` per
+        (preset × app × sla × policy × seed); co-run scenarios produce one
+        :class:`MultiAppCellSpec` per (preset × sla × policy × seed) with
+        every app deployed together.
+        """
+        if self.co_run:
+            return [
+                MultiAppCellSpec(
+                    envs=tuple(
+                        self._env_spec(app, preset, sla) for app in self.apps
+                    ),
+                    policy=policy,
+                    sim_seed=seed,
+                    seeding=self.seeding,
+                )
+                for preset in self.presets
+                for sla in self.slas
+                for policy in self.policies
+                for seed in self.seeds
+            ]
+        return [
+            CellSpec(
+                env=self._env_spec(app, preset, sla),
+                policy=policy,
+                sim_seed=seed,
+            )
+            for preset in self.presets
+            for app in self.apps
+            for sla in self.slas
+            for policy in self.policies
+            for seed in self.seeds
+        ]
+
+    def _env_spec(self, app: str, preset: str, sla: float) -> EnvSpec:
+        return EnvSpec(
+            app=app,
+            preset=preset,
+            sla=sla,
+            duration=self.duration,
+            train_duration=self.train_duration,
+            seed=self.env_seed,
+        )

@@ -28,10 +28,24 @@ from repro.policies.grandslam import GrandSLAmPolicy
 from repro.policies.icebreaker import IceBreakerPolicy
 from repro.policies.optimal import OptimalPolicy
 from repro.policies.orion import OrionPolicy
+from repro.policies.registry import (
+    PolicySpec,
+    get_policy_spec,
+    make_policy,
+    policy_names,
+    register_policy,
+    registered_policies,
+)
 from repro.policies.smiless import SMIlessPolicy
 
 __all__ = [
     "Policy",
+    "PolicySpec",
+    "register_policy",
+    "registered_policies",
+    "policy_names",
+    "get_policy_spec",
+    "make_policy",
     "AlwaysOnPolicy",
     "OnDemandPolicy",
     "SMIlessPolicy",

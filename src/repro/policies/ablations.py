@@ -19,12 +19,14 @@ import numpy as np
 
 from repro.core.prewarming import ColdStartPolicy
 from repro.hardware.configs import ConfigurationSpace
+from repro.policies.registry import register_policy
 from repro.policies.smiless import SMIlessPolicy
 from repro.profiler.profiles import FunctionProfile
-from repro.simulator.engine import SimulationContext
+from repro.simulator.gateway import SimulationContext
 from repro.simulator.invocation import Invocation
 
 
+@register_policy("smiless-no-dag", kwargs={"train_counts": "train_counts"})
 class SMIlessNoDagPolicy(SMIlessPolicy):
     """SMIless without any DAG awareness (§VII-C3).
 
@@ -91,6 +93,7 @@ class SMIlessNoDagPolicy(SMIlessPolicy):
             ctx.schedule_warmup(fn, start, config=plan.config)
 
 
+@register_policy("smiless-homo", kwargs={"train_counts": "train_counts"})
 class SMIlessHomoPolicy(SMIlessPolicy):
     """SMIless restricted to homogeneous (CPU-only) configurations."""
 

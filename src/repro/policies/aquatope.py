@@ -25,14 +25,16 @@ from repro.core.prewarming import evaluate_assignment
 from repro.dag.graph import AppDAG
 from repro.hardware.configs import ConfigurationSpace, HardwareConfig
 from repro.policies.base import Policy
+from repro.policies.registry import register_policy
 from repro.profiler.profiles import FunctionProfile
-from repro.simulator.engine import SimulationContext
+from repro.simulator.gateway import SimulationContext
 from repro.simulator.invocation import FunctionDirective
 
 #: Penalty factor applied to the objective when expected latency misses SLA.
 _SLA_PENALTY = 100.0
 
 
+@register_policy("aquatope")
 class AquatopePolicy(Policy):
     """BO-tuned configurations with on-demand cold starts."""
 

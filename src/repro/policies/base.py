@@ -15,7 +15,8 @@ import math
 
 from repro.dag.graph import AppDAG
 from repro.hardware.configs import HardwareConfig
-from repro.simulator.engine import SimulationContext
+from repro.policies.registry import register_policy
+from repro.simulator.gateway import SimulationContext
 from repro.simulator.invocation import FunctionDirective, Invocation
 
 
@@ -44,6 +45,7 @@ class Policy(abc.ABC):
         """Called when one stage of an invocation finishes."""
 
 
+@register_policy("always-on", args=())
 class AlwaysOnPolicy(Policy):
     """Keep one warm instance per function forever on a fixed config."""
 
@@ -66,6 +68,7 @@ class AlwaysOnPolicy(Policy):
             ctx.schedule_warmup(fn, 0.0)
 
 
+@register_policy("on-demand", args=())
 class OnDemandPolicy(Policy):
     """Cold-start every instance on demand; terminate as soon as idle."""
 

@@ -18,11 +18,13 @@ from typing import Mapping
 from repro.dag.graph import AppDAG
 from repro.hardware.configs import ConfigurationSpace, HardwareConfig
 from repro.policies.base import Policy
+from repro.policies.registry import register_policy
 from repro.profiler.profiles import FunctionProfile
-from repro.simulator.engine import SimulationContext
+from repro.simulator.gateway import SimulationContext
 from repro.simulator.invocation import FunctionDirective
 
 
+@register_policy("grandslam")
 class GrandSLAmPolicy(Policy):
     """Per-stage slack budgets, cheapest-fit configs, always-on fleet."""
 

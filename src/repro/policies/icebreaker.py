@@ -22,12 +22,14 @@ import numpy as np
 from repro.dag.graph import AppDAG
 from repro.hardware.configs import ConfigurationSpace, HardwareConfig
 from repro.policies.base import Policy
+from repro.policies.registry import register_policy
 from repro.predictor.baselines import FipPredictor
 from repro.profiler.profiles import FunctionProfile
-from repro.simulator.engine import SimulationContext
+from repro.simulator.gateway import SimulationContext
 from repro.simulator.invocation import FunctionDirective
 
 
+@register_policy("icebreaker", kwargs={"train_counts": "train_counts"})
 class IceBreakerPolicy(Policy):
     """DAG-oblivious per-function warm-up on speedup-per-dollar hardware."""
 

@@ -22,8 +22,9 @@ from repro.core.workflow import WorkflowManager
 from repro.dag.graph import AppDAG
 from repro.hardware.configs import ConfigurationSpace, HardwareConfig
 from repro.policies.base import Policy
+from repro.policies.registry import register_policy
 from repro.profiler.profiles import FunctionProfile
-from repro.simulator.engine import SimulationContext
+from repro.simulator.gateway import SimulationContext
 from repro.simulator.invocation import FunctionDirective, Invocation
 from repro.workload.trace import Trace
 
@@ -32,6 +33,7 @@ from repro.workload.trace import Trace
 _FULL_ENUMERATION_LIMIT = 4
 
 
+@register_policy("opt", args=("oracle", "trace"))
 class OptimalPolicy(Policy):
     """Exhaustive-search configurations with clairvoyant cold-start timing."""
 

@@ -24,9 +24,10 @@ from repro.core.workflow import WorkflowManager
 from repro.dag.graph import AppDAG
 from repro.hardware.configs import ConfigurationSpace
 from repro.policies.base import Policy
+from repro.policies.registry import register_policy
 from repro.predictor.interarrival import gaps_from_counts
 from repro.profiler.profiles import FunctionProfile
-from repro.simulator.engine import SimulationContext
+from repro.simulator.gateway import SimulationContext
 from repro.simulator.invocation import FunctionDirective, Invocation
 
 #: IT used for *planning*: effectively infinite, so every function is priced
@@ -34,6 +35,7 @@ from repro.simulator.invocation import FunctionDirective, Invocation
 _PLANNING_IT = 1e9
 
 
+@register_policy("orion")
 class OrionPolicy(Policy):
     """Right-pre-warming sizing; breaks under closely spaced invocations."""
 

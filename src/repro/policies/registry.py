@@ -1,0 +1,113 @@
+"""Decorator-based policy registry.
+
+Every scheduling policy registers itself at class-definition time::
+
+    @register_policy("smiless", kwargs={"train_counts": "train_counts"})
+    class SMIlessPolicy(Policy):
+        ...
+
+The registration carries a *constructor spec*: which environment
+ingredients (attributes of
+:class:`~repro.experiments.runners.Environment` — ``profiles``,
+``train_counts``, ``oracle``, ``trace``) the policy's constructor takes,
+positionally (``args``) and by keyword (``kwargs``).  :func:`make_policy`
+resolves a name to its spec and instantiates the policy from an
+environment, replacing the old hard-coded if-chain in
+``Environment.make_policy``; experiment runners, the CLI and the scenario
+compiler all resolve policies through this one table.
+
+Unknown names raise a :class:`KeyError` that lists every registered
+policy; duplicate registrations are rejected eagerly so two modules can
+never silently fight over a name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.policies.base import Policy
+
+__all__ = [
+    "PolicySpec",
+    "register_policy",
+    "registered_policies",
+    "policy_names",
+    "get_policy_spec",
+    "make_policy",
+]
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """One registry entry: the policy class plus its constructor spec."""
+
+    name: str
+    cls: type
+    #: Environment attributes passed positionally to the constructor.
+    args: tuple[str, ...] = ()
+    #: Constructor keyword -> environment attribute supplying its value.
+    kwargs: Mapping[str, str] = field(default_factory=dict)
+
+    def build(self, env: Any) -> "Policy":
+        """Instantiate the policy from an environment-like object."""
+        positional = [getattr(env, attr) for attr in self.args]
+        keyword = {kw: getattr(env, attr) for kw, attr in self.kwargs.items()}
+        return self.cls(*positional, **keyword)
+
+
+_REGISTRY: dict[str, PolicySpec] = {}
+
+
+def register_policy(
+    name: str,
+    *,
+    args: tuple[str, ...] = ("profiles",),
+    kwargs: Mapping[str, str] | None = None,
+):
+    """Class decorator registering a policy under ``name``.
+
+    ``args`` / ``kwargs`` name the environment attributes the constructor
+    consumes (see :class:`PolicySpec`).  Policies whose constructor takes
+    no environment ingredients register with ``args=()``.
+    """
+
+    def decorate(cls: type) -> type:
+        if name in _REGISTRY:
+            raise ValueError(
+                f"policy {name!r} is already registered "
+                f"(by {_REGISTRY[name].cls.__name__})"
+            )
+        _REGISTRY[name] = PolicySpec(
+            name=name, cls=cls, args=tuple(args), kwargs=dict(kwargs or {})
+        )
+        return cls
+
+    return decorate
+
+
+def registered_policies() -> dict[str, PolicySpec]:
+    """Snapshot of the registry, keyed by policy name."""
+    return dict(_REGISTRY)
+
+
+def policy_names() -> tuple[str, ...]:
+    """All registered policy names, sorted for stable display."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_policy_spec(name: str) -> PolicySpec:
+    """Look up one registration; unknown names list the whole registry."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown policy {name!r}; registered: "
+            f"{', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def make_policy(name: str, env: Any) -> "Policy":
+    """Instantiate the policy registered under ``name`` from ``env``."""
+    return get_policy_spec(name).build(env)

@@ -32,10 +32,11 @@ from repro.core.workflow import ExecutionStrategy
 from repro.dag.graph import AppDAG
 from repro.hardware.configs import ConfigurationSpace
 from repro.policies.base import Policy
+from repro.policies.registry import register_policy
 from repro.predictor.interarrival import InterArrivalPredictor, gaps_from_counts
 from repro.predictor.invocation import InvocationPredictor
 from repro.profiler.profiles import FunctionProfile
-from repro.simulator.engine import SimulationContext
+from repro.simulator.gateway import SimulationContext
 from repro.simulator.invocation import FunctionDirective, Invocation
 
 #: Keep-alive safety factor over the predicted inter-arrival time.
@@ -61,6 +62,7 @@ def _cached_predictor(key: tuple, train):
     return cached
 
 
+@register_policy("smiless", kwargs={"train_counts": "train_counts"})
 class SMIlessPolicy(Policy):
     """Co-optimized configuration and cold-start management (the paper)."""
 

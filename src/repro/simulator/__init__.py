@@ -23,11 +23,13 @@ Scheduling policies (SMIless and the baselines) plug in through
 
 from repro.simulator.cluster import Cluster, Machine, Placement
 from repro.simulator.container import Instance, InstanceState
-from repro.simulator.engine import ServerlessSimulator, SimulationContext
 from repro.simulator.events import EventQueue, TimerHandle
+from repro.simulator.gateway import Gateway, SimulationContext
+from repro.simulator.runtime import Deployment, Runtime, derive_app_seed
+from repro.simulator.engine import ServerlessSimulator
 from repro.simulator.invocation import FunctionDirective, Invocation, StageRecord
 from repro.simulator.metrics import InstanceUsage, RunMetrics
-from repro.simulator.multiapp import Deployment, MultiAppSimulator
+from repro.simulator.multiapp import MultiAppSimulator
 from repro.simulator.pools import InstancePool
 from repro.simulator.reporting import format_report
 
@@ -45,6 +47,9 @@ __all__ = [
     "FunctionDirective",
     "RunMetrics",
     "InstanceUsage",
+    "Gateway",
+    "Runtime",
+    "derive_app_seed",
     "ServerlessSimulator",
     "SimulationContext",
     "Deployment",

@@ -1,0 +1,546 @@
+"""Per-application gateway: queues, directives, instance pools, metrics.
+
+A :class:`Gateway` owns everything that belongs to *one* application being
+served — its invocation queues, standing :class:`FunctionDirective`\\ s,
+per-function :class:`~repro.simulator.pools.InstancePool` indexes, oracle
+performance models and :class:`~repro.simulator.metrics.RunMetrics` — and
+drives that application's stage dispatch, instance lifecycle and window
+ticks.  The shared *mechanism* it draws on (the simulated clock, the event
+heap, cluster capacity) lives in :class:`~repro.simulator.runtime.Runtime`;
+several gateways bound to one runtime co-run on a single timeline and
+back-pressure each other through the shared cluster, which is the paper's
+§VII-A evaluation setting (three applications, one 8-machine testbed).
+
+This mirrors the paper's split between the Gateway + per-instance Agent
+(per-application, §VI) and the platform underneath: the gateway is
+responsible for mechanism — instance lifecycle, queueing, batching,
+capacity requests, billing records — while the policy supplies *decisions*
+through :class:`~repro.simulator.invocation.FunctionDirective` updates and
+pre-warm requests.
+
+Stage dispatch rules (the Gateway + per-instance Agent of §VI):
+
+- a stage becomes *ready* when all its DAG predecessors finished;
+- ready stages queue per function; an idle instance takes up to
+  ``directive.batch`` queued stages as one batch;
+- if no instance is live, a cold start is triggered on the directive's
+  configuration; stages served by an instance that was not warm when they
+  became ready count as cold (re)initializations (Fig. 9b);
+- idle instances expire after ``directive.keep_alive`` seconds;
+- pre-warm requests launch instances at a policy-chosen time so
+  initialization overlaps upstream execution (§V-B1).
+
+Hot-path structure (see ``docs/performance.md``): instance lifecycle state
+lives in per-function :class:`~repro.simulator.pools.InstancePool` indexes,
+arrivals and window ticks are *streamed* (each event schedules its
+successor on a pre-reserved sequence block, keeping the event heap
+O(live events) instead of O(trace length)), and keep-alive expiry timers
+are cancelled on dispatch instead of left to fire as dead closures.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.dag.graph import AppDAG
+from repro.hardware.configs import Backend, HardwareConfig
+from repro.hardware.perfmodel import GroundTruthPerformance
+from repro.simulator.container import Instance, InstanceState
+from repro.simulator.invocation import FunctionDirective, Invocation
+from repro.simulator.metrics import InstanceUsage, RunMetrics
+from repro.simulator.pools import InstancePool
+from repro.utils.rng import ensure_rng
+from repro.workload.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only imports
+    from repro.policies.base import Policy
+    from repro.simulator.runtime import Runtime
+
+
+class SimulationContext:
+    """The policy's window into its application's running gateway."""
+
+    def __init__(self, gateway: "Gateway") -> None:
+        self._gw = gateway
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._gw.events.now
+
+    @property
+    def app(self) -> AppDAG:
+        """The application being served."""
+        return self._gw.app
+
+    @property
+    def window(self) -> float:
+        """Control-window length in seconds (1 s in the paper)."""
+        return self._gw.window
+
+    def directive(self, function: str) -> FunctionDirective:
+        """Current standing directive for ``function``."""
+        return self._gw.directives[function]
+
+    def set_directive(self, function: str, directive: FunctionDirective) -> None:
+        """Replace the standing directive for ``function``."""
+        if function not in self._gw.app.function_names:
+            raise KeyError(f"unknown function {function!r}")
+        self._gw.directives[function] = directive
+
+    def schedule_warmup(
+        self,
+        function: str,
+        start_time: float,
+        config: HardwareConfig | None = None,
+        count: int = 1,
+    ) -> None:
+        """Ask the gateway to have ``count`` instances warming from ``start_time``.
+
+        Duplicate requests are absorbed: at fire time the gateway only
+        launches instances beyond those already initializing or idle.
+        """
+        self._gw.schedule_warmup(function, start_time, config, count)
+
+    def counts_history(self) -> np.ndarray:
+        """Invocation counts of all *completed* windows so far."""
+        return np.array(self._gw.window_counts, dtype=int)
+
+    def live_count(
+        self, function: str, config: HardwareConfig | None = None
+    ) -> int:
+        """Instances currently holding resources for ``function``.
+
+        With ``config`` given, count only instances of that configuration.
+        """
+        return self._gw.pools[function].live_count(config)
+
+    def idle_count(self, function: str) -> int:
+        """Warm idle instances for ``function``."""
+        return self._gw.pools[function].idle_count()
+
+    def queue_length(self, function: str) -> int:
+        """Stages queued for ``function``."""
+        return len(self._gw.queues[function])
+
+
+class Gateway:
+    """Serves one application's trace on a shared :class:`Runtime`."""
+
+    def __init__(
+        self,
+        app: AppDAG,
+        trace: Trace,
+        policy: "Policy",
+        *,
+        runtime: "Runtime",
+        window: float = 1.0,
+        seed: int = 0,
+        noisy: bool = True,
+        init_failure_rate: float = 0.0,
+        gpu_contention: float = 0.0,
+    ) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be > 0, got {window}")
+        if not 0.0 <= init_failure_rate < 1.0:
+            raise ValueError(
+                f"init_failure_rate must be in [0, 1), got {init_failure_rate}"
+            )
+        if gpu_contention < 0.0:
+            raise ValueError(
+                f"gpu_contention must be >= 0, got {gpu_contention}"
+            )
+        self.app = app
+        self.trace = trace
+        self.policy = policy
+        self.runtime = runtime
+        self.cluster = runtime.cluster
+        self.events = runtime.events
+        self.window = float(window)
+        self.seed = seed
+        self.init_failure_rate = float(init_failure_rate)
+        self.gpu_contention = float(gpu_contention)
+        root = ensure_rng(seed)
+        self._fault_rng = np.random.default_rng(int(root.integers(2**32)))
+        self.oracles: dict[str, GroundTruthPerformance] = {
+            spec.name: GroundTruthPerformance(
+                spec.profile, rng=int(root.integers(2**32)), noisy=noisy
+            )
+            for spec in app.specs
+        }
+        self.metrics = RunMetrics(app=app.name, policy=policy.name, sla=app.sla)
+        self.directives: dict[str, FunctionDirective] = {}
+        self.pools: dict[str, InstancePool] = {
+            f: InstancePool() for f in app.function_names
+        }
+        self.queues: dict[str, deque[Invocation]] = {
+            f: deque() for f in app.function_names
+        }
+        self.pending_launches: dict[str, deque[HardwareConfig]] = {
+            f: deque() for f in app.function_names
+        }
+        self.window_counts: list[int] = []
+        self.pending_stage_demand: dict[str, int] = {
+            f: 0 for f in app.function_names
+        }
+        self._current_window_count = 0
+        self._open_invocations = 0
+        self._shutting_down = False
+        self._arrival_seq_base = 0
+        self._tick_seq_base = 0
+        self._n_windows = 0
+        self.ctx = SimulationContext(self)
+
+    # ------------------------------------------------------------------ run
+    def setup(self) -> None:
+        """Register the policy and start the arrival / window-tick streams.
+
+        Arrivals and ticks are *streamed*: only the next event of each chain
+        sits in the heap, and it schedules its successor when it fires.
+        Sequence blocks are reserved up front so simultaneous events
+        tie-break exactly as a fully pre-pushed schedule would.
+        """
+        self.policy.on_register(self.app, self.ctx)
+        for fn in self.app.function_names:
+            if fn not in self.directives:
+                raise RuntimeError(
+                    f"policy {self.policy.name!r} left function {fn!r} without a directive"
+                )
+        n_arrivals = len(self.trace)
+        self._arrival_seq_base = self.events.reserve(n_arrivals)
+        self._n_windows = int(math.ceil(self.trace.duration / self.window))
+        self._tick_seq_base = self.events.reserve(self._n_windows)
+        if n_arrivals:
+            self._schedule_arrival(0)
+        if self._n_windows:
+            self._schedule_tick(1)
+
+    def finalize(self) -> RunMetrics:
+        """Terminate remaining instances and seal the metrics."""
+        self._finalize()
+        return self.metrics
+
+    @property
+    def open_invocations(self) -> int:
+        """Invocations that have arrived but not completed."""
+        return self._open_invocations
+
+    # ------------------------------------------------------------- arrivals
+    def _schedule_arrival(self, index: int) -> None:
+        t = float(self.trace.times[index])
+        self.events.schedule(
+            t, self._make_arrival(t, index), seq=self._arrival_seq_base + index
+        )
+
+    def _make_arrival(self, t: float, index: int):
+        def fire() -> None:
+            if index + 1 < len(self.trace):
+                self._schedule_arrival(index + 1)
+            inv = Invocation(app=self.app.name, arrival=t)
+            inv.remaining = len(self.app)  # type: ignore[attr-defined]
+            for fn in self.app.function_names:
+                self.pending_stage_demand[fn] += 1
+            self.metrics.invocations.append(inv)
+            self._open_invocations += 1
+            self._current_window_count += 1
+            self.policy.on_arrival(inv, self.ctx)
+            for fn in self.app.sources():
+                self._stage_ready(inv, fn)
+
+        return fire
+
+    def _stage_ready(self, inv: Invocation, fn: str) -> None:
+        inv.stage(fn).ready_at = self.events.now
+        self.queues[fn].append(inv)
+        self._dispatch(fn)
+
+    # ------------------------------------------------------------- dispatch
+    def _dispatch(self, fn: str) -> None:
+        directive = self.directives[fn]
+        queue = self.queues[fn]
+        pool = self.pools[fn]
+        while queue:
+            inst = pool.pick_idle(directive.config)
+            if inst is None:
+                break
+            # The batch limit is sized for the directive's configuration; a
+            # stale-config instance serves sequentially so a large batch
+            # cannot blow its (slower) stage latency.
+            limit = directive.batch if inst.config == directive.config else 1
+            batch_n = min(limit, len(queue))
+            items = [queue.popleft() for _ in range(batch_n)]
+            self._execute(inst, items)
+        if queue:
+            # Cover the backlog with launches, accounting for instances that
+            # are already initializing and will drain the queue when warm.
+            initializing = pool.initializing_count() + len(
+                self.pending_launches[fn]
+            )
+            capacity = initializing * directive.batch
+            shortfall = len(queue) - capacity
+            if shortfall > 0:
+                for _ in range(math.ceil(shortfall / directive.batch)):
+                    self._launch(fn, directive.config)
+
+    def _execute(self, inst: Instance, items: list[Invocation]) -> None:
+        now = self.events.now
+        batch_n = len(items)
+        exec_time = self.oracles[inst.function].inference_time(
+            inst.config, batch_n
+        )
+        if self.gpu_contention > 0.0 and inst.config.backend is Backend.GPU:
+            # MPS co-location slowdown (§IV-A2: PCIe/GPU-memory contention
+            # between instances sharing a device): scale with the fraction
+            # of the device allocated to *other* instances.
+            machine = self.cluster.machines[inst.placement.machine]
+            others = machine.gpu_slots_used - inst.config.mps_slots
+            share = max(0, others) / machine.gpu_slots_total
+            exec_time *= 1.0 + self.gpu_contention * share
+        inst.mark_busy(now, batch_n)
+        self.pools[inst.function].transition(inst, InstanceState.IDLE)
+        if inst.expiry_timer is not None:
+            inst.expiry_timer.cancel()
+            inst.expiry_timer = None
+        self.pending_stage_demand[inst.function] -= batch_n
+        for inv in items:
+            rec = inv.stage(inst.function)
+            rec.started_at = now
+            rec.instance_id = inst.instance_id
+            rec.batch = batch_n
+            rec.cold_start = inst.warm_at > (rec.ready_at or 0.0)
+        self.metrics.stage_executions += batch_n
+        self.metrics.cold_stage_executions += sum(
+            1 for inv in items if inv.stage(inst.function).cold_start
+        )
+        self.events.schedule_in(
+            exec_time, lambda: self._stage_done(inst, items, exec_time)
+        )
+
+    def _stage_done(
+        self, inst: Instance, items: list[Invocation], exec_time: float
+    ) -> None:
+        now = self.events.now
+        inst.mark_idle(now, exec_time)
+        fn = inst.function
+        self.pools[fn].transition(inst, InstanceState.BUSY)
+        for inv in items:
+            inv.stage(fn).finished_at = now
+            inv.remaining -= 1  # type: ignore[attr-defined]
+            self.policy.on_stage_complete(inv, fn, self.ctx)
+            for succ in self.app.successors(fn):
+                preds = self.app.predecessors(succ)
+                if all(
+                    inv.stage(p).finished_at is not None for p in preds
+                ):
+                    self._stage_ready(inv, succ)
+            if inv.remaining == 0:  # type: ignore[attr-defined]
+                inv.completed_at = now
+                self._open_invocations -= 1
+        self._dispatch(fn)
+        if inst.state is InstanceState.IDLE:
+            self._arm_expiry(inst)
+
+    # ------------------------------------------------------------- lifecycle
+    def _launch(self, fn: str, config: HardwareConfig) -> Instance | None:
+        placement = self.cluster.try_allocate(config)
+        if placement is None:
+            self.pending_launches[fn].append(config)
+            return None
+        init = self.oracles[fn].init_time(config)
+        inst = Instance(
+            function=fn,
+            config=config,
+            placement=placement,
+            launched_at=self.events.now,
+            init_duration=init,
+        )
+        self.pools[fn].add(inst)
+        self.metrics.initializations += 1
+        self.events.schedule_in(init, lambda: self._warmup_done(inst))
+        return inst
+
+    def _warmup_done(self, inst: Instance) -> None:
+        if not inst.is_live:
+            return
+        if (
+            self.init_failure_rate > 0.0
+            and self._fault_rng.random() < self.init_failure_rate
+        ):
+            # Initialization failed (image pull error, OOM during model
+            # load, ...): the container is torn down — billed for the failed
+            # attempt — and replaced, as a real platform's crash-loop would.
+            self.metrics.failed_initializations += 1
+            fn, cfg = inst.function, inst.config
+            self._terminate(inst)
+            if not self._shutting_down:
+                self._launch(fn, cfg)
+            return
+        inst.mark_warm(self.events.now)
+        self.pools[inst.function].transition(inst, InstanceState.INITIALIZING)
+        self._dispatch(inst.function)
+        if inst.state is InstanceState.IDLE:
+            self._arm_expiry(inst)
+
+    def _arm_expiry(self, inst: Instance) -> None:
+        directive = self.directives[inst.function]
+        keep_alive = directive.keep_alive
+        if inst.batches_served == 0:
+            # Freshly pre-warmed, still waiting for its predicted arrival.
+            keep_alive = max(keep_alive, directive.warm_grace)
+        if math.isinf(keep_alive):
+            return
+        if inst.expiry_timer is not None:
+            inst.expiry_timer.cancel()
+
+        def fire() -> None:
+            inst.expiry_timer = None
+            if inst.state is InstanceState.IDLE:
+                self._terminate(inst)
+
+        inst.expiry_timer = self.events.schedule_in(max(keep_alive, 0.0), fire)
+
+    def _terminate(self, inst: Instance) -> None:
+        if not inst.is_live:
+            return
+        if inst.expiry_timer is not None:
+            inst.expiry_timer.cancel()
+            inst.expiry_timer = None
+        prev_state = inst.state
+        inst.mark_terminated(self.events.now)
+        self.cluster.release(inst.placement)
+        self.metrics.instances.append(
+            InstanceUsage.from_instance(inst, self.events.now)
+        )
+        self.pools[inst.function].remove(inst, prev_state)
+        self._retry_pending_launches()
+
+    def _retry_pending_launches(self) -> None:
+        if self._shutting_down:
+            return
+        for fn, pending in self.pending_launches.items():
+            while pending:
+                config = pending[0]
+                placement = self.cluster.try_allocate(config)
+                if placement is None:
+                    # This function's head launch does not fit, but another
+                    # function's (smaller) pending launch still might: move
+                    # on rather than blocking the whole retry pass.
+                    break
+                self.cluster.release(placement)  # _launch re-allocates
+                pending.popleft()
+                self._launch(fn, config)
+
+    def schedule_warmup(
+        self,
+        function: str,
+        start_time: float,
+        config: HardwareConfig | None = None,
+        count: int = 1,
+    ) -> None:
+        """Launch up to ``count`` instances at ``start_time`` (deduplicated)."""
+        if function not in self.app.function_names:
+            raise KeyError(f"unknown function {function!r}")
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+
+        def fire() -> None:
+            directive = self.directives[function]
+            cfg = config or directive.config
+            uncommitted = self.pools[function].uncommitted_count(config)
+            # Instances already owed to open invocations — queued here or
+            # still traversing upstream stages — don't count as available
+            # for the upcoming invocation this warm-up targets.
+            claimed = math.ceil(
+                self.pending_stage_demand[function] / directive.batch
+            )
+            available = max(0, uncommitted - claimed)
+            for _ in range(max(0, count - available)):
+                self._launch(function, cfg)
+
+        self.events.schedule(start_time, fire)
+
+    # ------------------------------------------------------------- windows
+    def _schedule_tick(self, k: int) -> None:
+        self.events.schedule(
+            k * self.window,
+            self._make_window_tick(k),
+            seq=self._tick_seq_base + k - 1,
+        )
+
+    def _make_window_tick(self, k: int):
+        def fire() -> None:
+            if k < self._n_windows:
+                self._schedule_tick(k + 1)
+            self.window_counts.append(self._current_window_count)
+            self.metrics.arrival_samples.append(
+                (self.events.now, self._current_window_count)
+            )
+            self._current_window_count = 0
+            cpu_pods = gpu_pods = 0
+            for pool in self.pools.values():
+                cpu, gpu = pool.backend_live_counts()
+                cpu_pods += cpu
+                gpu_pods += gpu
+            self.metrics.pod_samples.append((self.events.now, cpu_pods, gpu_pods))
+            self.policy.on_window(self.events.now, self.ctx)
+            self._enforce_min_warm()
+
+        return fire
+
+    def _enforce_min_warm(self) -> None:
+        now = self.events.now
+        for fn, directive in self.directives.items():
+            pool = self.pools[fn]
+            cfg = directive.config
+            # Snapshot before deficit launches: the sweep's fleet-size floor
+            # must not count instances launched within this very pass.
+            live_n = pool.live_count()
+            deficit = directive.min_warm - pool.live_count(cfg)
+            for _ in range(deficit):
+                self._launch(fn, cfg)
+            if deficit < 0 and math.isinf(directive.keep_alive):
+                # Always-on fleets are sized purely by min_warm: shed idle
+                # instances beyond the target.
+                excess = -deficit
+                for inst in pool.idle_sorted(config=cfg)[:excess]:
+                    self._terminate(inst)
+            # Retire stale-config idle instances once the directive's own
+            # configuration has *warm* coverage — retiring against merely
+            # initializing replacements opens a cold window.
+            if pool.warm_count(cfg) >= max(directive.min_warm, 1):
+                for inst in pool.idle_sorted():
+                    if inst.config != cfg:
+                        self._terminate(inst)
+            elif not math.isinf(directive.keep_alive):
+                # Sweep idle instances whose expiry timer was armed under a
+                # previous (longer or infinite) keep-alive directive.
+                for inst in pool.idle_sorted():
+                    grace = directive.keep_alive
+                    if inst.batches_served == 0:
+                        grace = max(grace, directive.warm_grace)
+                    if (
+                        now - inst.idle_since > grace + 1e-9
+                        and live_n > directive.min_warm
+                    ):
+                        self._terminate(inst)
+                        live_n -= 1
+
+    # ------------------------------------------------------------- teardown
+    def _finalize(self) -> None:
+        self._shutting_down = True
+        now = self.events.now
+        for pool in self.pools.values():
+            for inst in list(pool):
+                if inst.is_live:
+                    self._terminate(inst)
+        self.metrics.duration = now
+        self.metrics.unfinished = self._open_invocations
+        # Unfinished invocations are SLA violations by definition; drop them
+        # from the completed list so latency stats cover finished ones only.
+        self.metrics.invocations = [
+            inv for inv in self.metrics.invocations if inv.finished
+        ]

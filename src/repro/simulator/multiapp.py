@@ -1,33 +1,36 @@
-"""Multi-application co-scheduling on one shared cluster.
+"""Multi-application co-scheduling facade over the runtime core.
 
 The paper's evaluation (§VII-A) runs a dedicated load generator for *each*
 of the three applications simultaneously against the same 8-machine
-cluster.  :class:`MultiAppSimulator` reproduces that setting: every
-application gets its own gateway state (queues, instances, policy) but all
-of them share one event queue — a single simulated clock — and one
-:class:`~repro.simulator.cluster.Cluster`, so capacity pressure from one
-application back-pressures the others exactly as on the real testbed.
+cluster.  :class:`MultiAppSimulator` reproduces that setting as a thin
+facade: one shared :class:`~repro.simulator.runtime.Runtime` (a single
+simulated clock and one :class:`~repro.simulator.cluster.Cluster`) with
+one :class:`~repro.simulator.gateway.Gateway` per deployment, so capacity
+pressure from one application back-pressures the others exactly as on the
+real testbed.
+
+Seeding (``seeding=``):
+
+- ``"name"`` (default) — each tenant's seed derives from the root seed and
+  its *application name* (:func:`~repro.simulator.runtime.derive_app_seed`),
+  so results are invariant under deployment reordering;
+- ``"legacy"`` — the historical positional scheme (``seed + index``),
+  reproducing pre-refactor :class:`MultiAppSimulator` results bit for bit.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-from repro.dag.graph import AppDAG
 from repro.simulator.cluster import Cluster
-from repro.simulator.engine import ServerlessSimulator
 from repro.simulator.events import EventQueue
 from repro.simulator.metrics import RunMetrics
-from repro.workload.trace import Trace
+from repro.simulator.runtime import (
+    SEEDING_MODES,
+    Deployment,
+    Runtime,
+    derive_app_seed,
+)
 
-
-@dataclass(frozen=True)
-class Deployment:
-    """One application with its trace and scheduling policy."""
-
-    app: AppDAG
-    trace: Trace
-    policy: "object"  # Policy; typed loosely to avoid an import cycle
+__all__ = ["Deployment", "MultiAppSimulator"]
 
 
 class MultiAppSimulator:
@@ -42,46 +45,54 @@ class MultiAppSimulator:
         drain_timeout: float = 300.0,
         seed: int = 0,
         noisy: bool = True,
+        seeding: str = "name",
     ) -> None:
         if not deployments:
             raise ValueError("need at least one deployment")
         names = [d.app.name for d in deployments]
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate application names: {names}")
-        self.events = EventQueue()
-        self.cluster = cluster if cluster is not None else Cluster.build()
-        self.drain_timeout = float(drain_timeout)
-        self.simulators = [
-            ServerlessSimulator(
+        if seeding not in SEEDING_MODES:
+            raise ValueError(
+                f"unknown seeding mode {seeding!r}; "
+                f"expected one of {SEEDING_MODES}"
+            )
+        self.runtime = Runtime(cluster=cluster, drain_timeout=drain_timeout)
+        self.gateways = [
+            self.runtime.add_app(
                 d.app,
                 d.trace,
-                d.policy,  # type: ignore[arg-type]
-                cluster=self.cluster,
-                events=self.events,
+                d.policy,
                 window=window,
-                seed=seed + i,
+                seed=(
+                    seed + i
+                    if seeding == "legacy"
+                    else derive_app_seed(seed, d.app.name)
+                ),
                 noisy=noisy,
             )
             for i, d in enumerate(deployments)
         ]
 
+    @property
+    def events(self) -> EventQueue:
+        """The shared event heap (one clock for all tenants)."""
+        return self.runtime.events
+
+    @property
+    def cluster(self) -> Cluster:
+        """The shared capacity model all tenants contend on."""
+        return self.runtime.cluster
+
+    @property
+    def simulators(self) -> list:
+        """Per-app gateways (historical alias from the pre-runtime API)."""
+        return self.gateways
+
     def run(self) -> dict[str, RunMetrics]:
         """Serve all traces to completion; metrics keyed by app name."""
-        for sim in self.simulators:
-            sim.setup()
-        horizon = max(sim.trace.duration for sim in self.simulators)
-        self.events.run_until(horizon)
-        deadline = horizon + self.drain_timeout
-        while (
-            any(sim.open_invocations > 0 for sim in self.simulators)
-            and self.events.now < deadline
-        ):
-            if not self.events.step():
-                break
-        return {sim.app.name: sim.finalize() for sim in self.simulators}
+        return self.runtime.run()
 
     def total_cost(self, metrics: dict[str, RunMetrics] | None = None) -> float:
         """Aggregate billed cost across all applications."""
-        if metrics is None:
-            metrics = {s.app.name: s.metrics for s in self.simulators}
-        return sum(m.total_cost() for m in metrics.values())
+        return self.runtime.total_cost(metrics)

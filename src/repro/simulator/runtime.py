@@ -1,0 +1,154 @@
+"""Shared runtime: one clock, one event heap, one cluster, N gateways.
+
+:class:`Runtime` is the multi-tenant core of the simulator.  It owns the
+*shared mechanism* — the :class:`~repro.simulator.events.EventQueue` (the
+simulated clock), the :class:`~repro.simulator.cluster.Cluster` capacity
+model, and the drain policy — while every co-resident application brings
+its own :class:`~repro.simulator.gateway.Gateway` (queues, directives,
+instance pools, per-app metrics).  A single-application run is just a
+runtime with one gateway; the paper's §VII-A co-run is the same runtime
+with three.  Capacity pressure from one tenant back-pressures the others
+through the shared cluster exactly as on the real 8-machine testbed.
+
+Per-application seeding comes in two flavours (see
+:func:`derive_app_seed`): *name-derived* seeds are stable under deployment
+reordering — adding or permuting tenants never perturbs another tenant's
+noise streams — while the *legacy* positional scheme (``seed + index``)
+reproduces the historical :class:`MultiAppSimulator` results bit for bit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.dag.graph import AppDAG
+from repro.simulator.cluster import Cluster
+from repro.simulator.events import EventQueue
+from repro.simulator.gateway import Gateway
+from repro.simulator.metrics import RunMetrics
+from repro.workload.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.policies.base import Policy
+
+
+#: Recognised per-app seeding schemes for multi-tenant runs.
+SEEDING_MODES = ("name", "legacy")
+
+
+def derive_app_seed(seed: int, app_name: str) -> int:
+    """Order-independent per-application seed.
+
+    Hashes ``(seed, app_name)`` with BLAKE2b so a tenant's RNG streams
+    (oracle noise, fault injection) depend only on the root seed and its
+    own name — never on its position in the deployment list or on which
+    other tenants co-run.  ``hashlib`` rather than ``hash()`` keeps the
+    derivation stable across interpreter runs (``PYTHONHASHSEED``).
+    """
+    digest = hashlib.blake2b(
+        f"{seed}:{app_name}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+@dataclass(frozen=True)
+class Deployment:
+    """One application with its trace and scheduling policy."""
+
+    app: AppDAG
+    trace: Trace
+    policy: "Policy"
+
+
+class Runtime:
+    """Shared clock, event heap, cluster and billing for N gateways."""
+
+    def __init__(
+        self,
+        *,
+        cluster: Cluster | None = None,
+        events: EventQueue | None = None,
+        drain_timeout: float = 300.0,
+    ) -> None:
+        if drain_timeout < 0:
+            raise ValueError(f"drain_timeout must be >= 0, got {drain_timeout}")
+        self.events = events if events is not None else EventQueue()
+        self.cluster = cluster if cluster is not None else Cluster.build()
+        self.drain_timeout = float(drain_timeout)
+        self.gateways: list[Gateway] = []
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self.events.now
+
+    def add_app(
+        self,
+        app: AppDAG,
+        trace: Trace,
+        policy: "Policy",
+        *,
+        window: float = 1.0,
+        seed: int = 0,
+        noisy: bool = True,
+        init_failure_rate: float = 0.0,
+        gpu_contention: float = 0.0,
+    ) -> Gateway:
+        """Register one application on this runtime; returns its gateway."""
+        if any(gw.app.name == app.name for gw in self.gateways):
+            raise ValueError(
+                f"duplicate application names: "
+                f"{[gw.app.name for gw in self.gateways] + [app.name]}"
+            )
+        gateway = Gateway(
+            app,
+            trace,
+            policy,
+            runtime=self,
+            window=window,
+            seed=seed,
+            noisy=noisy,
+            init_failure_rate=init_failure_rate,
+            gpu_contention=gpu_contention,
+        )
+        self.gateways.append(gateway)
+        return gateway
+
+    # ------------------------------------------------------------------ run
+    def setup(self) -> None:
+        """Start every gateway's arrival / window-tick streams."""
+        for gateway in self.gateways:
+            gateway.setup()
+
+    @property
+    def open_invocations(self) -> int:
+        """Invocations in flight across all gateways."""
+        return sum(gw.open_invocations for gw in self.gateways)
+
+    def run(self) -> dict[str, RunMetrics]:
+        """Serve every gateway's trace to completion; metrics by app name.
+
+        The horizon is the longest trace; after it, in-flight invocations
+        get a bounded drain window before finalization.
+        """
+        if not self.gateways:
+            raise ValueError("runtime has no gateways; call add_app first")
+        self.setup()
+        horizon = max(gw.trace.duration for gw in self.gateways)
+        self.events.run_until(horizon)
+        deadline = horizon + self.drain_timeout
+        while (
+            any(gw.open_invocations > 0 for gw in self.gateways)
+            and self.events.now < deadline
+        ):
+            if not self.events.step():
+                break
+        return {gw.app.name: gw.finalize() for gw in self.gateways}
+
+    def total_cost(self, metrics: dict[str, RunMetrics] | None = None) -> float:
+        """Aggregate billed cost across all applications."""
+        if metrics is None:
+            metrics = {gw.app.name: gw.metrics for gw in self.gateways}
+        return sum(m.total_cost() for m in metrics.values())

@@ -1,0 +1,25 @@
+"""Every repro module must import from a cold start (no import cycles).
+
+Runs ``tools/check_imports.py`` in a subprocess: the checker purges
+``repro*`` from ``sys.modules`` between imports, which would corrupt class
+identity for the rest of the test session if done in-process.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def test_all_modules_import_cold():
+    result = subprocess.run(
+        [sys.executable, str(REPO / "tools" / "check_imports.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, (
+        f"import-cycle check failed:\n{result.stdout}\n{result.stderr}"
+    )
+    assert "import cleanly" in result.stdout

@@ -80,7 +80,8 @@ class TestParallelMatchesSerial:
         from dataclasses import replace
 
         bare = replace(environment, spec=None)
-        rows = run_comparison(bare, ("grandslam",), seed=3, workers=4)
+        with pytest.warns(RuntimeWarning, match="no build spec"):
+            rows = run_comparison(bare, ("grandslam",), seed=3, workers=4)
         assert rows == run_comparison(environment, ("grandslam",), seed=3)
 
 

@@ -1,0 +1,114 @@
+"""Tests for the decorator-based policy registry."""
+
+import pytest
+
+from repro.policies import (
+    Policy,
+    get_policy_spec,
+    make_policy,
+    policy_names,
+    register_policy,
+    registered_policies,
+)
+from repro.policies import registry as registry_mod
+
+ALL_BUILTIN = (
+    "smiless",
+    "orion",
+    "icebreaker",
+    "grandslam",
+    "aquatope",
+    "opt",
+    "smiless-no-dag",
+    "smiless-homo",
+    "always-on",
+    "on-demand",
+)
+
+
+class TestBuiltinRegistrations:
+    def test_all_builtin_policies_registered(self):
+        names = policy_names()
+        for name in ALL_BUILTIN:
+            assert name in names
+
+    def test_names_sorted_for_stable_display(self):
+        assert list(policy_names()) == sorted(policy_names())
+
+    def test_specs_carry_classes(self):
+        for name, spec in registered_policies().items():
+            assert spec.name == name
+            assert isinstance(spec.cls, type)
+            assert issubclass(spec.cls, Policy)
+
+    def test_opt_constructor_spec_uses_oracle_and_trace(self):
+        spec = get_policy_spec("opt")
+        assert spec.args == ("oracle", "trace")
+
+    def test_reference_policies_need_no_environment(self):
+        class NoEnv:
+            pass
+
+        for name in ("always-on", "on-demand"):
+            assert make_policy(name, NoEnv()).name == name
+
+
+class TestRegistrationMechanics:
+    def test_decorator_returns_class_and_registers(self):
+        @register_policy("_test-reg", args=())
+        class _TestPolicy(Policy):
+            name = "_test-reg"
+
+            def on_register(self, app, ctx):
+                pass
+
+        try:
+            assert get_policy_spec("_test-reg").cls is _TestPolicy
+            assert isinstance(make_policy("_test-reg", object()), _TestPolicy)
+        finally:
+            registry_mod._REGISTRY.pop("_test-reg")
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+
+            @register_policy("smiless")
+            class _Clash(Policy):  # pragma: no cover - never instantiated
+                def on_register(self, app, ctx):
+                    pass
+
+    def test_unknown_name_lists_registry(self):
+        with pytest.raises(KeyError) as exc:
+            get_policy_spec("nope")
+        message = str(exc.value)
+        for name in ALL_BUILTIN:
+            assert name in message
+
+    def test_make_policy_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown policy"):
+            make_policy("nope", object())
+
+    def test_constructor_spec_pulls_environment_attributes(self):
+        class Probe(Policy):
+            name = "probe"
+
+            def __init__(self, profiles, *, train_counts=None):
+                self.profiles = profiles
+                self.train_counts = train_counts
+
+            def on_register(self, app, ctx):
+                pass
+
+        register_policy(
+            "_test-probe", kwargs={"train_counts": "train_counts"}
+        )(Probe)
+        try:
+
+            class Env:
+                profiles = {"f": "profile"}
+                train_counts = [1, 2, 3]
+
+            policy = make_policy("_test-probe", Env())
+            assert policy.profiles == {"f": "profile"}
+            assert policy.train_counts == [1, 2, 3]
+        finally:
+            registry_mod._REGISTRY.pop("_test-probe")

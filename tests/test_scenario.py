@@ -1,0 +1,208 @@
+"""Tests for declarative scenarios and the unified grid execution path."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import (
+    CellSpec,
+    EnvSpec,
+    MultiAppCellSpec,
+    ScenarioSpec,
+    build_environment,
+    run_multi_app,
+    run_scenario,
+)
+
+FAST = dict(duration=60.0, train_duration=400.0)
+
+
+class TestSpecConstruction:
+    def test_from_dict_promotes_scalars(self):
+        spec = ScenarioSpec.from_dict(
+            {"apps": "image-query", "policies": "always-on", "slas": 4.0}
+        )
+        assert spec.apps == ("image-query",)
+        assert spec.policies == ("always-on",)
+        assert spec.slas == (4.0,)
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(KeyError, match="unknown scenario keys"):
+            ScenarioSpec.from_dict({"apps": ["a"], "policies": ["p"], "sla": 2.0})
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(apps=(), policies=("smiless",))
+        with pytest.raises(ValueError):
+            ScenarioSpec(apps=("image-query",), policies=())
+        with pytest.raises(ValueError):
+            ScenarioSpec(apps=("image-query",), policies=("smiless",), seeds=())
+
+    def test_json_round_trip(self, tmp_path):
+        spec = ScenarioSpec(
+            apps=("image-query", "amber-alert"),
+            policies=("smiless", "grandslam"),
+            slas=(1.0, 2.0),
+            duration=120.0,
+        )
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec.to_dict()))
+        assert ScenarioSpec.from_json(path) == spec
+
+
+class TestCompilation:
+    def test_solo_cells_cover_the_product(self):
+        spec = ScenarioSpec(
+            apps=("image-query", "amber-alert"),
+            policies=("always-on", "on-demand"),
+            slas=(1.0, 2.0),
+            seeds=(3, 4),
+            **FAST,
+        )
+        cells = spec.cells()
+        assert len(cells) == 2 * 2 * 2 * 2
+        assert all(isinstance(c, CellSpec) for c in cells)
+        assert len(set(cells)) == len(cells)
+        assert {c.env.app for c in cells} == {"image-query", "amber-alert"}
+
+    def test_co_run_cells_deploy_all_apps_together(self):
+        spec = ScenarioSpec(
+            apps=("image-query", "amber-alert"),
+            policies=("always-on", "on-demand"),
+            co_run=True,
+            **FAST,
+        )
+        cells = spec.cells()
+        assert len(cells) == 2  # one per policy; apps share each cell
+        assert all(isinstance(c, MultiAppCellSpec) for c in cells)
+        assert all(len(c.envs) == 2 for c in cells)
+
+    def test_for_environment_pins_env_axes(self):
+        env = EnvSpec(app="amber-alert", preset="diurnal", sla=4.0, duration=90.0)
+        spec = ScenarioSpec.for_environment(env, policies=("smiless",))
+        (cell,) = spec.cells()
+        assert cell.env == env
+
+    def test_for_environment_sla_override(self):
+        env = EnvSpec(app="amber-alert", sla=4.0)
+        spec = ScenarioSpec.for_environment(
+            env, policies=("smiless",), slas=(1.0, 8.0)
+        )
+        assert [c.env.sla for c in spec.cells()] == [1.0, 8.0]
+
+
+class TestRunScenario:
+    def test_solo_end_to_end(self):
+        spec = ScenarioSpec(
+            apps=("image-query",),
+            policies=("always-on", "on-demand"),
+            **FAST,
+        )
+        rows = run_scenario(spec)
+        assert [r.policy for r in rows] == ["always-on", "on-demand"]
+        assert all(r.app == "image-query" for r in rows)
+        assert all(r.row.total_cost > 0 for r in rows)
+
+    def test_co_run_expands_one_row_per_app(self):
+        spec = ScenarioSpec(
+            apps=("image-query", "amber-alert"),
+            policies=("always-on",),
+            co_run=True,
+            **FAST,
+        )
+        rows = run_scenario(spec)
+        assert {r.app for r in rows} == {"image-query", "amber-alert"}
+        assert len(rows) == 2
+
+    def test_parallel_matches_serial(self):
+        spec = ScenarioSpec(
+            apps=("image-query",),
+            policies=("always-on", "on-demand"),
+            slas=(2.0, 4.0),
+            **FAST,
+        )
+        assert run_scenario(spec, workers=2) == run_scenario(spec, workers=1)
+
+
+class TestRunMultiApp:
+    def make_envs(self):
+        return [
+            build_environment("image-query", seed=0, **FAST),
+            build_environment("amber-alert", seed=1, **FAST),
+        ]
+
+    def test_single_policy_returns_per_app_rows(self):
+        results = run_multi_app(self.make_envs(), "always-on")
+        assert set(results) == {"image-query", "amber-alert"}
+
+    def test_policy_tuple_returns_nested_mapping(self):
+        results = run_multi_app(self.make_envs(), ("always-on", "on-demand"))
+        assert set(results) == {"always-on", "on-demand"}
+        for rows in results.values():
+            assert set(rows) == {"image-query", "amber-alert"}
+
+    def test_parallel_matches_serial(self):
+        envs = self.make_envs()
+        policies = ("always-on", "on-demand")
+        serial = run_multi_app(envs, policies, workers=1)
+        parallel = run_multi_app(envs, policies, workers=2)
+        assert serial == parallel
+
+    def test_hand_rolled_envs_warn_and_fall_back(self):
+        envs = self.make_envs()
+        stripped = [
+            type(e)(
+                app=e.app,
+                profiles=e.profiles,
+                oracle=e.oracle,
+                train_counts=e.train_counts,
+                trace=e.trace,
+            )
+            for e in envs
+        ]
+        with pytest.warns(RuntimeWarning, match="no build spec"):
+            fallback = run_multi_app(stripped, "always-on", workers=4)
+        assert fallback == run_multi_app(envs, "always-on", workers=1)
+
+    def test_empty_envs_rejected(self):
+        with pytest.raises(ValueError):
+            run_multi_app([], "always-on")
+
+
+class TestScenarioCLI:
+    def test_scenario_command_end_to_end(self, tmp_path, capsys):
+        path = tmp_path / "spec.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "apps": ["image-query"],
+                    "policies": ["always-on", "on-demand"],
+                    "duration": 60.0,
+                    "train_duration": 400.0,
+                }
+            )
+        )
+        assert main(["scenario", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 cell(s)" in out
+        assert "always-on" in out and "on-demand" in out
+        assert "image-query" in out
+
+    def test_scenario_command_co_run(self, tmp_path, capsys):
+        path = tmp_path / "spec.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "apps": ["image-query", "amber-alert"],
+                    "policies": ["always-on"],
+                    "co_run": True,
+                    "duration": 60.0,
+                    "train_duration": 400.0,
+                }
+            )
+        )
+        assert main(["scenario", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "[co-run]" in out
+        assert "amber-alert" in out
