@@ -7,6 +7,11 @@ Subcommands wrap the :mod:`repro.experiments` runners:
 - ``multiapp``  — co-run all three evaluation apps on one cluster
 - ``scenario``  — run a declarative JSON scenario spec (apps × policies ×
   SLAs × presets × seeds, optionally co-run) through the experiment grid
+- ``trace``     — run one cell with telemetry on: JSONL event trace,
+  optional Chrome/Perfetto export, decision audit, and a trace→metrics
+  reconstruction check
+- ``report``    — full text report for one run (live, or rebuilt offline
+  from a JSONL trace with ``--from-trace``)
 - ``profile``   — print a function's profiled latency/init models
 - ``apps``      — list the built-in applications and workload presets
 
@@ -15,13 +20,17 @@ Examples::
     python -m repro.cli compare image-query --preset diurnal --duration 300
     python -m repro.cli sweep amber-alert --slas 1 2 4 8
     python -m repro.cli multiapp --policy smiless --workers 2
-    python -m repro.cli scenario spec.json --workers 4
+    python -m repro.cli scenario spec.json --workers 4 --json
+    python -m repro.cli trace image-query --out run.jsonl --chrome run.trace.json
+    python -m repro.cli report image-query --from-trace run.jsonl
     python -m repro.cli profile TRS
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import math
 import sys
 
 from repro.experiments import (
@@ -106,6 +115,31 @@ def cmd_multiapp(args) -> int:
 
 def cmd_scenario(args) -> int:
     spec = ScenarioSpec.from_json(args.spec)
+    if args.trace_dir is not None:
+        import dataclasses
+
+        spec = dataclasses.replace(spec, trace_dir=args.trace_dir)
+    if args.json:
+        from repro.experiments.parallel import run_grid
+
+        cells = []
+        for res in run_grid(spec.cells(), workers=args.workers):
+            cell = {
+                "policy": res.spec.policy,
+                "sim_seed": res.spec.sim_seed,
+                "summary": _json_safe(res.summary),
+            }
+            if hasattr(res.spec, "envs"):
+                cell["apps"] = [e.app for e in res.spec.envs]
+                cell["preset"] = res.spec.envs[0].preset
+                cell["sla"] = res.spec.envs[0].sla
+            else:
+                cell["app"] = res.spec.env.app
+                cell["preset"] = res.spec.env.preset
+                cell["sla"] = res.spec.env.sla
+            cells.append(cell)
+        print(json.dumps(cells, indent=2))
+        return 0
     n_cells = len(spec.cells())
     print(
         f"scenario: {len(spec.apps)} app(s) x {len(spec.policies)} "
@@ -154,9 +188,35 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def _json_safe(value):
+    """Recursively replace non-finite floats so ``--json`` emits strict JSON."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None if math.isnan(value) else ("inf" if value > 0 else "-inf")
+    if isinstance(value, dict):
+        return {k: _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return value
+
+
 def cmd_report(args) -> int:
-    from repro.simulator import ServerlessSimulator
     from repro.simulator.reporting import format_report
+
+    if args.from_trace is not None:
+        from repro.telemetry import aggregate, read_jsonl
+
+        metrics = aggregate(read_jsonl(args.from_trace), app=args.app)
+        if args.json:
+            print(json.dumps(_json_safe(metrics.summary()), indent=2))
+        else:
+            print(f"rebuilt from trace: {args.from_trace}")
+            print(format_report(metrics))
+        return 0
+
+    if args.app is None:
+        print("error: app is required unless --from-trace is given")
+        return 2
+    from repro.simulator import ServerlessSimulator
     from repro.workload.analysis import format_summary, summarize
 
     env = build_environment(
@@ -166,13 +226,87 @@ def cmd_report(args) -> int:
         duration=args.duration,
         seed=args.seed,
     )
-    print("workload:")
-    print(format_summary(summarize(env.trace)))
-    print()
     metrics = ServerlessSimulator(
         env.app, env.trace, env.make_policy(args.policy), seed=args.seed + 3
     ).run()
+    if args.json:
+        print(json.dumps(_json_safe(metrics.summary()), indent=2))
+        return 0
+    print("workload:")
+    print(format_summary(summarize(env.trace)))
+    print()
     print(format_report(metrics))
+    return 0
+
+
+def _summaries_match(a: dict, b: dict) -> bool:
+    """Exact summary equality, treating NaN as equal to NaN."""
+    if a.keys() != b.keys():
+        return False
+    for k in a:
+        x, y = a[k], b[k]
+        both_nan = (
+            isinstance(x, float)
+            and isinstance(y, float)
+            and math.isnan(x)
+            and math.isnan(y)
+        )
+        if not both_nan and x != y:
+            return False
+    return True
+
+
+def cmd_trace(args) -> int:
+    from repro.simulator import ServerlessSimulator
+    from repro.telemetry import (
+        TraceRecorder,
+        aggregate,
+        format_decision_audit,
+        to_dict,
+        validate_event,
+        write_chrome_trace,
+        write_jsonl,
+    )
+
+    env = build_environment(
+        args.app,
+        preset=args.preset,
+        sla=args.sla,
+        duration=args.duration,
+        seed=args.seed,
+    )
+    recorder = TraceRecorder()
+    metrics = ServerlessSimulator(
+        env.app,
+        env.trace,
+        env.make_policy(args.policy),
+        seed=args.seed + 3,
+        recorder=recorder,
+    ).run()
+
+    # Every emitted event must satisfy the published schema ...
+    bad = 0
+    for i, event in enumerate(recorder.events):
+        errors = validate_event(to_dict(event))
+        if errors:
+            bad += 1
+            print(f"schema violation in event {i}: {'; '.join(errors)}")
+    if bad:
+        print(f"error: {bad} event(s) failed schema validation")
+        return 1
+    # ... and the trace must reconstruct the live metrics exactly.
+    if not _summaries_match(aggregate(recorder.events).summary(), metrics.summary()):
+        print("error: trace does not reconstruct the live run metrics")
+        return 1
+
+    n = write_jsonl(recorder.events, args.out)
+    print(f"wrote {n} events -> {args.out}")
+    if args.chrome is not None:
+        write_chrome_trace(recorder.events, args.chrome)
+        print(f"wrote Chrome trace -> {args.chrome} (load in Perfetto)")
+    print()
+    print("decision audit:")
+    print(format_decision_audit(recorder.events))
     return 0
 
 
@@ -248,14 +382,58 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes for the experiment grid (1 = serial)",
     )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one JSON object per cell (full RunMetrics summaries)",
+    )
+    p.add_argument(
+        "--trace-dir",
+        default=None,
+        help="record every cell and write JSONL event traces here",
+    )
     p.set_defaults(func=cmd_scenario)
 
     p = sub.add_parser("report", help="serve one app and print the full report")
+    p.add_argument("app", nargs="?", default=None, choices=sorted(APP_BUILDERS))
+    p.add_argument("--policy", default="smiless", choices=POLICY_NAMES)
+    p.add_argument("--sla", type=float, default=2.0)
+    p.add_argument(
+        "--from-trace",
+        default=None,
+        metavar="PATH",
+        help="rebuild the report offline from a JSONL telemetry trace "
+        "instead of running a simulation (app may be omitted for "
+        "single-app traces)",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the RunMetrics summary as JSON instead of the text report",
+    )
+    common(p)
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "trace",
+        help="run one app with telemetry on and export the event trace",
+    )
     p.add_argument("app", choices=sorted(APP_BUILDERS))
     p.add_argument("--policy", default="smiless", choices=POLICY_NAMES)
     p.add_argument("--sla", type=float, default=2.0)
+    p.add_argument(
+        "--out",
+        default="trace.jsonl",
+        help="JSONL event trace output path (default: trace.jsonl)",
+    )
+    p.add_argument(
+        "--chrome",
+        default=None,
+        metavar="PATH",
+        help="also export a Chrome trace-event file (open in Perfetto)",
+    )
     common(p)
-    p.set_defaults(func=cmd_report)
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("profile", help="profile one Table I model")
     p.add_argument("model")

@@ -21,6 +21,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from functools import lru_cache
+from pathlib import Path
 from typing import Iterable, Sequence
 
 
@@ -38,11 +39,19 @@ class EnvSpec:
 
 @dataclass(frozen=True)
 class CellSpec:
-    """One grid cell: an environment recipe plus a policy and simulator seed."""
+    """One grid cell: an environment recipe plus a policy and simulator seed.
+
+    ``trace_dir`` opts the cell into telemetry: the run is recorded with a
+    :class:`~repro.telemetry.recorder.TraceRecorder` and the event stream is
+    written as JSONL into that directory (one file per cell, named after the
+    cell's coordinates).  ``None`` — the default — records nothing and adds
+    no overhead.
+    """
 
     env: EnvSpec
     policy: str
     sim_seed: int = 3
+    trace_dir: str | None = None
 
 
 @dataclass(frozen=True)
@@ -51,13 +60,16 @@ class MultiAppCellSpec:
 
     ``seeding`` selects the per-app seed derivation of
     :class:`~repro.simulator.multiapp.MultiAppSimulator` ("name" is
-    order-independent, "legacy" positional).
+    order-independent, "legacy" positional).  ``trace_dir`` opts the cell
+    into telemetry exactly like :class:`CellSpec` (one JSONL file for the
+    whole co-run, all tenants interleaved).
     """
 
     envs: tuple[EnvSpec, ...]
     policy: str
     sim_seed: int = 3
     seeding: str = "name"
+    trace_dir: str | None = None
 
 
 @dataclass(frozen=True)
@@ -92,26 +104,67 @@ def _environment(spec: EnvSpec):
     )
 
 
+def _make_recorder(spec: CellSpec | MultiAppCellSpec):
+    """A live recorder when the cell opted into tracing, else ``None``."""
+    if spec.trace_dir is None:
+        return None
+    from repro.telemetry.recorder import TraceRecorder
+
+    return TraceRecorder()
+
+
+def cell_trace_path(spec: CellSpec | MultiAppCellSpec) -> Path:
+    """Where a traced cell writes its JSONL (named after its coordinates)."""
+    assert spec.trace_dir is not None
+    if isinstance(spec, MultiAppCellSpec):
+        apps = "+".join(e.app for e in spec.envs)
+        env = spec.envs[0]
+    else:
+        apps = spec.env.app
+        env = spec.env
+    name = (
+        f"{apps}-{env.preset}-sla{env.sla:g}-{spec.policy}"
+        f"-seed{spec.sim_seed}.jsonl"
+    )
+    return Path(spec.trace_dir) / name
+
+
+def _flush_trace(spec: CellSpec | MultiAppCellSpec, recorder) -> None:
+    if recorder is None:
+        return
+    path = cell_trace_path(spec)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    recorder.write_jsonl(path)
+
+
 def run_cell(spec: CellSpec | MultiAppCellSpec) -> CellResult:
     """Build the cell's environment(s), serve the trace(s), time the run.
 
     A :class:`CellSpec` runs one app solo; a :class:`MultiAppCellSpec`
     co-runs its apps on one shared cluster and reports a summary dict
-    keyed by app name.
+    keyed by app name.  Cells with a ``trace_dir`` also leave a JSONL
+    telemetry trace behind (written after the clock stops, so tracing does
+    not distort the perf numbers beyond event construction itself).
     """
     if isinstance(spec, MultiAppCellSpec):
         return _run_multiapp_cell(spec)
     from repro.simulator import ServerlessSimulator
 
     env = _environment(spec.env)
+    recorder = _make_recorder(spec)
     start = time.perf_counter()
     # Policy construction is part of the cell: policies may train
     # predictors, which dominates some cells' cost.
     sim = ServerlessSimulator(
-        env.app, env.trace, env.make_policy(spec.policy), seed=spec.sim_seed
+        env.app,
+        env.trace,
+        env.make_policy(spec.policy),
+        seed=spec.sim_seed,
+        recorder=recorder,
     )
     metrics = sim.run()
     wall = time.perf_counter() - start
+    _flush_trace(spec, recorder)
     return CellResult(
         spec=spec,
         summary=metrics.summary(),
@@ -124,16 +177,18 @@ def _run_multiapp_cell(spec: MultiAppCellSpec) -> CellResult:
     from repro.simulator import Deployment, MultiAppSimulator
 
     envs = [_environment(e) for e in spec.envs]
+    recorder = _make_recorder(spec)
     start = time.perf_counter()
     deployments = [
         Deployment(env.app, env.trace, env.make_policy(spec.policy))
         for env in envs
     ]
     sim = MultiAppSimulator(
-        deployments, seed=spec.sim_seed, seeding=spec.seeding
+        deployments, seed=spec.sim_seed, seeding=spec.seeding, recorder=recorder
     )
     results = sim.run()
     wall = time.perf_counter() - start
+    _flush_trace(spec, recorder)
     return CellResult(
         spec=spec,
         summary={name: m.summary() for name, m in results.items()},

@@ -62,6 +62,10 @@ class ScenarioSpec:
     #: Per-app seeding for co-run cells: "name" (order-independent) or
     #: "legacy" (positional, pre-refactor compatible).
     seeding: str = "name"
+    #: Opt every cell into telemetry: each run is recorded and its event
+    #: stream written as JSONL into this directory (one file per cell).
+    #: ``None`` (default) records nothing.
+    trace_dir: str | None = None
 
     def __post_init__(self) -> None:
         if not self.apps:
@@ -146,6 +150,7 @@ class ScenarioSpec:
                     policy=policy,
                     sim_seed=seed,
                     seeding=self.seeding,
+                    trace_dir=self.trace_dir,
                 )
                 for preset in self.presets
                 for sla in self.slas
@@ -157,6 +162,7 @@ class ScenarioSpec:
                 env=self._env_spec(app, preset, sla),
                 policy=policy,
                 sim_seed=seed,
+                trace_dir=self.trace_dir,
             )
             for preset in self.presets
             for app in self.apps

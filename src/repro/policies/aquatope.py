@@ -114,4 +114,8 @@ class AquatopePolicy(Policy):
                     batch=1,
                     warm_grace=self.keep_alive,
                 ),
+                reason=(
+                    f"aquatope: BO-tuned config, "
+                    f"keep-alive {self.keep_alive:g}s"
+                ),
             )

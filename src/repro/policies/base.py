@@ -64,6 +64,7 @@ class AlwaysOnPolicy(Policy):
                     batch=1,
                     min_warm=1,
                 ),
+                reason="always-on: one warm instance forever",
             )
             ctx.schedule_warmup(fn, 0.0)
 
@@ -82,4 +83,5 @@ class OnDemandPolicy(Policy):
             ctx.set_directive(
                 fn,
                 FunctionDirective(config=self.config, keep_alive=0.0, batch=1),
+                reason="on-demand: cold start every request",
             )

@@ -95,5 +95,9 @@ class GrandSLAmPolicy(Policy):
                     batch=batch,
                     min_warm=1,
                 ),
+                reason=(
+                    f"grandslam: stage budget {budgets[fn]:.2f}s, "
+                    f"batch {batch} fits budget"
+                ),
             )
             ctx.schedule_warmup(fn, 0.0, config=cfg)

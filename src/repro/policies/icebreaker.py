@@ -128,6 +128,11 @@ class IceBreakerPolicy(Policy):
                     batch=1,
                     warm_grace=self.horizon,
                 ),
+                reason=(
+                    "icebreaker: "
+                    + ("GPU" if self._gpu_configs[fn] else "CPU")
+                    + " primary, keep warm over prediction horizon"
+                ),
             )
 
     def _best_in(

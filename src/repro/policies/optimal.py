@@ -102,6 +102,7 @@ class OptimalPolicy(Policy):
                     batch=1,
                     warm_grace=2.0 * self.init_slack + 1.0,
                 ),
+                reason="oracle: exhaustive-search assignment, pre-warm regime",
             )
         # Clairvoyant pre-warm for the very first arrival of the trace.
         if len(self.trace):
@@ -132,6 +133,7 @@ class OptimalPolicy(Policy):
                         batch=1,
                         warm_grace=2.0 * self.init_slack + 1.0,
                     ),
+                    reason=f"oracle: true gap {gap:.2f}s favors pre-warm",
                 )
                 start = t_next + self._offsets[fn] - t - self.init_slack
                 ctx.schedule_warmup(fn, start, config=plan.config)  # type: ignore[attr-defined]
@@ -143,6 +145,7 @@ class OptimalPolicy(Policy):
                         keep_alive=gap + self._offsets[fn] + 0.5,
                         batch=1,
                     ),
+                    reason=f"oracle: true gap {gap:.2f}s favors keep-alive",
                 )
 
     def on_window(self, t: float, ctx: SimulationContext) -> None:
@@ -187,4 +190,5 @@ class OptimalPolicy(Policy):
                     min_warm=decision.instances,
                     warm_grace=t_max + 2.0,
                 ),
+                reason=f"oracle: burst of {g} seen in lookahead, scale out",
             )

@@ -72,6 +72,7 @@ class OrionPolicy(Policy):
                 FunctionDirective(
                     config=plan.config, keep_alive=0.0, batch=1, warm_grace=6.0
                 ),
+                reason="orion: pre-warm regime, warm per predicted gap",
             )
 
     def on_arrival(self, invocation: Invocation, ctx: SimulationContext) -> None:

@@ -287,6 +287,15 @@ class SMIlessPolicy(Policy):
                 # invocation*, however long the realized gap is — the regime
                 # itself flips to pre-warm only through re-optimization when
                 # the predicted IT grows past T + I.
+                why = (
+                    "optimizer chose Case II"
+                    if plan.policy is ColdStartPolicy.KEEP_ALIVE
+                    else (
+                        f"pre-warm unsafe: I+T="
+                        f"{plan.init_time + plan.inference_time:.2f}s >= IT="
+                        f"{self._current_it:.2f}s"
+                    )
+                )
                 ctx.set_directive(
                     fn,
                     FunctionDirective(
@@ -295,6 +304,10 @@ class SMIlessPolicy(Policy):
                         batch=self._standing_batch(fn, strategy),
                         min_warm=1,
                         warm_grace=WARM_GRACE,
+                    ),
+                    reason=(
+                        f"keep-alive regime ({why}); strategy IT="
+                        f"{strategy.inter_arrival:.2f}s"
                     ),
                 )
             else:
@@ -306,6 +319,12 @@ class SMIlessPolicy(Policy):
                         batch=self._standing_batch(fn, strategy),
                         min_warm=0,
                         warm_grace=self._prewarm_grace(),
+                    ),
+                    reason=(
+                        f"pre-warm regime: I+T="
+                        f"{plan.init_time + plan.inference_time:.2f}s < IT="
+                        f"{self._current_it:.2f}s; strategy IT="
+                        f"{strategy.inter_arrival:.2f}s"
                     ),
                 )
 
@@ -418,6 +437,10 @@ class SMIlessPolicy(Policy):
                         min_warm=d.instances,
                         warm_grace=WARM_GRACE,
                     ),
+                    reason=(
+                        f"auto-scaler burst: g={g} predicted arrivals -> "
+                        f"{d.instances}x {d.config.key}, batch={d.batch}"
+                    ),
                 )
             self._scaled_out = True
         elif self._scaled_out:
@@ -440,6 +463,10 @@ class SMIlessPolicy(Policy):
                     FunctionDirective(
                         config=d.config, keep_alive=0.0, batch=1, min_warm=0,
                         warm_grace=0.0,
+                    ),
+                    reason=(
+                        f"traffic idle {idle_for:.1f}s: release fleet until "
+                        f"arrivals resume"
                     ),
                 )
             return
@@ -464,6 +491,10 @@ class SMIlessPolicy(Policy):
                         batch=d.batch,
                         min_warm=d.min_warm,
                         warm_grace=grace,
+                    ),
+                    reason=(
+                        f"watchdog: warm grace {d.warm_grace:.1f}s -> "
+                        f"{grace:.1f}s for revised IT"
                     ),
                 )
             if ctx.live_count(fn) > 0 or ctx.queue_length(fn) > 0:

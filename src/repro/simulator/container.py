@@ -44,6 +44,9 @@ class Instance:
     init_duration: float
     state: InstanceState = InstanceState.INITIALIZING
     instance_id: int = field(default_factory=lambda: next(_instance_ids))
+    #: Launched by a policy pre-warm rather than queue demand; drives the
+    #: telemetry plane's PrewarmHit / PrewarmMiss accounting.
+    prewarmed: bool = False
     warm_at: float = 0.0
     idle_since: float = 0.0
     busy_seconds: float = 0.0

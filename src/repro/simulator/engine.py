@@ -28,8 +28,9 @@ from repro.simulator.metrics import RunMetrics
 from repro.simulator.runtime import Runtime
 from repro.workload.trace import Trace
 
-if TYPE_CHECKING:  # pragma: no cover - typing-only import
+if TYPE_CHECKING:  # pragma: no cover - typing-only imports
     from repro.policies.base import Policy
+    from repro.telemetry.recorder import Recorder
 
 __all__ = ["ServerlessSimulator", "SimulationContext"]
 
@@ -51,9 +52,13 @@ class ServerlessSimulator:
         noisy: bool = True,
         init_failure_rate: float = 0.0,
         gpu_contention: float = 0.0,
+        recorder: "Recorder | None" = None,
     ) -> None:
         self.runtime = Runtime(
-            cluster=cluster, events=events, drain_timeout=drain_timeout
+            cluster=cluster,
+            events=events,
+            drain_timeout=drain_timeout,
+            recorder=recorder,
         )
         self.gateway = self.runtime.add_app(
             app,

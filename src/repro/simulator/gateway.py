@@ -36,6 +36,15 @@ arrivals and window ticks are *streamed* (each event schedules its
 successor on a pre-reserved sequence block, keeping the event heap
 O(live events) instead of O(trace length)), and keep-alive expiry timers
 are cancelled on dispatch instead of left to fire as dead closures.
+
+Observability (see ``docs/observability.md``): every point that mutates a
+:class:`~repro.simulator.metrics.RunMetrics` counter also emits a typed
+:mod:`repro.telemetry.events` event through the runtime's recorder, so
+the metrics are reconstructible from a recorded trace
+(:func:`repro.telemetry.aggregate.aggregate`).  Emission is guarded by
+one ``self._rec is not None`` check per site; under the default
+:class:`~repro.telemetry.recorder.NullRecorder` no event object is ever
+built and the hot loop is unchanged.
 """
 
 from __future__ import annotations
@@ -53,6 +62,25 @@ from repro.simulator.container import Instance, InstanceState
 from repro.simulator.invocation import FunctionDirective, Invocation
 from repro.simulator.metrics import InstanceUsage, RunMetrics
 from repro.simulator.pools import InstancePool
+from repro.telemetry.events import (
+    Arrival,
+    ColdStart,
+    DirectiveChanged,
+    InstanceExpired,
+    InstanceInitFailed,
+    InstanceLaunched,
+    InvocationFinished,
+    PrewarmHit,
+    PrewarmMiss,
+    PrewarmScheduled,
+    RunFinished,
+    RunStarted,
+    SlaViolation,
+    StageFinish,
+    StageReady,
+    StageStart,
+    WindowTick,
+)
 from repro.utils.rng import ensure_rng
 from repro.workload.trace import Trace
 
@@ -86,11 +114,23 @@ class SimulationContext:
         """Current standing directive for ``function``."""
         return self._gw.directives[function]
 
-    def set_directive(self, function: str, directive: FunctionDirective) -> None:
-        """Replace the standing directive for ``function``."""
+    def set_directive(
+        self,
+        function: str,
+        directive: FunctionDirective,
+        reason: str = "",
+    ) -> None:
+        """Replace the standing directive for ``function``.
+
+        ``reason`` is the policy's explanation for the change; it is
+        recorded on the :class:`~repro.telemetry.events.DirectiveChanged`
+        event and surfaces in the decision-audit view
+        (:func:`repro.telemetry.audit.decision_audit`).
+        """
         if function not in self._gw.app.function_names:
             raise KeyError(f"unknown function {function!r}")
         self._gw.directives[function] = directive
+        self._gw.record_directive(function, directive, reason)
 
     def schedule_warmup(
         self,
@@ -160,6 +200,9 @@ class Gateway:
         self.runtime = runtime
         self.cluster = runtime.cluster
         self.events = runtime.events
+        # Telemetry: `None` under the NullRecorder so every emission point
+        # is a single attribute check and no event object is built.
+        self._rec = runtime.recorder if runtime.recorder.enabled else None
         self.window = float(window)
         self.seed = seed
         self.init_failure_rate = float(init_failure_rate)
@@ -204,6 +247,17 @@ class Gateway:
         Sequence blocks are reserved up front so simultaneous events
         tie-break exactly as a fully pre-pushed schedule would.
         """
+        if self._rec is not None:
+            self._rec.emit(
+                RunStarted(
+                    t=self.events.now,
+                    app=self.app.name,
+                    policy=self.policy.name,
+                    sla=self.app.sla,
+                    window=self.window,
+                    functions=tuple(self.app.function_names),
+                )
+            )
         self.policy.on_register(self.app, self.ctx)
         for fn in self.app.function_names:
             if fn not in self.directives:
@@ -229,6 +283,25 @@ class Gateway:
         """Invocations that have arrived but not completed."""
         return self._open_invocations
 
+    def record_directive(
+        self, function: str, directive: FunctionDirective, reason: str
+    ) -> None:
+        """Emit the ``DirectiveChanged`` audit event for one update."""
+        if self._rec is not None:
+            self._rec.emit(
+                DirectiveChanged(
+                    t=self.events.now,
+                    app=self.app.name,
+                    function=function,
+                    config=directive.config.key,
+                    keep_alive=directive.keep_alive,
+                    batch=directive.batch,
+                    min_warm=directive.min_warm,
+                    warm_grace=directive.warm_grace,
+                    reason=reason,
+                )
+            )
+
     # ------------------------------------------------------------- arrivals
     def _schedule_arrival(self, index: int) -> None:
         t = float(self.trace.times[index])
@@ -240,13 +313,23 @@ class Gateway:
         def fire() -> None:
             if index + 1 < len(self.trace):
                 self._schedule_arrival(index + 1)
-            inv = Invocation(app=self.app.name, arrival=t)
+            inv = Invocation(
+                app=self.app.name,
+                arrival=t,
+                invocation_id=self.runtime.next_invocation_id(),
+            )
             inv.remaining = len(self.app)  # type: ignore[attr-defined]
             for fn in self.app.function_names:
                 self.pending_stage_demand[fn] += 1
             self.metrics.invocations.append(inv)
             self._open_invocations += 1
             self._current_window_count += 1
+            if self._rec is not None:
+                self._rec.emit(
+                    Arrival(
+                        t=t, app=self.app.name, invocation_id=inv.invocation_id
+                    )
+                )
             self.policy.on_arrival(inv, self.ctx)
             for fn in self.app.sources():
                 self._stage_ready(inv, fn)
@@ -255,6 +338,15 @@ class Gateway:
 
     def _stage_ready(self, inv: Invocation, fn: str) -> None:
         inv.stage(fn).ready_at = self.events.now
+        if self._rec is not None:
+            self._rec.emit(
+                StageReady(
+                    t=self.events.now,
+                    app=self.app.name,
+                    invocation_id=inv.invocation_id,
+                    function=fn,
+                )
+            )
         self.queues[fn].append(inv)
         self._dispatch(fn)
 
@@ -316,6 +408,41 @@ class Gateway:
         self.metrics.cold_stage_executions += sum(
             1 for inv in items if inv.stage(inst.function).cold_start
         )
+        if self._rec is not None:
+            if inst.prewarmed and inst.batches_served == 1:
+                self._rec.emit(
+                    PrewarmHit(
+                        t=now,
+                        app=self.app.name,
+                        function=inst.function,
+                        instance_id=inst.instance_id,
+                        idle_wait=now - inst.warm_at,
+                    )
+                )
+            for inv in items:
+                rec = inv.stage(inst.function)
+                self._rec.emit(
+                    StageStart(
+                        t=now,
+                        app=self.app.name,
+                        invocation_id=inv.invocation_id,
+                        function=inst.function,
+                        instance_id=inst.instance_id,
+                        batch=batch_n,
+                        cold=rec.cold_start,
+                    )
+                )
+                if rec.cold_start:
+                    self._rec.emit(
+                        ColdStart(
+                            t=now,
+                            app=self.app.name,
+                            invocation_id=inv.invocation_id,
+                            function=inst.function,
+                            instance_id=inst.instance_id,
+                            wait=now - (rec.ready_at or 0.0),
+                        )
+                    )
         self.events.schedule_in(
             exec_time, lambda: self._stage_done(inst, items, exec_time)
         )
@@ -330,6 +457,16 @@ class Gateway:
         for inv in items:
             inv.stage(fn).finished_at = now
             inv.remaining -= 1  # type: ignore[attr-defined]
+            if self._rec is not None:
+                self._rec.emit(
+                    StageFinish(
+                        t=now,
+                        app=self.app.name,
+                        invocation_id=inv.invocation_id,
+                        function=fn,
+                        instance_id=inst.instance_id,
+                    )
+                )
             self.policy.on_stage_complete(inv, fn, self.ctx)
             for succ in self.app.successors(fn):
                 preds = self.app.predecessors(succ)
@@ -340,12 +477,35 @@ class Gateway:
             if inv.remaining == 0:  # type: ignore[attr-defined]
                 inv.completed_at = now
                 self._open_invocations -= 1
+                if self._rec is not None:
+                    latency = now - inv.arrival
+                    self._rec.emit(
+                        InvocationFinished(
+                            t=now,
+                            app=self.app.name,
+                            invocation_id=inv.invocation_id,
+                            latency=latency,
+                        )
+                    )
+                    # Same epsilon as RunMetrics.violation_ratio.
+                    if latency > self.app.sla + 1e-9:
+                        self._rec.emit(
+                            SlaViolation(
+                                t=now,
+                                app=self.app.name,
+                                invocation_id=inv.invocation_id,
+                                latency=latency,
+                                sla=self.app.sla,
+                            )
+                        )
         self._dispatch(fn)
         if inst.state is InstanceState.IDLE:
             self._arm_expiry(inst)
 
     # ------------------------------------------------------------- lifecycle
-    def _launch(self, fn: str, config: HardwareConfig) -> Instance | None:
+    def _launch(
+        self, fn: str, config: HardwareConfig, *, prewarm: bool = False
+    ) -> Instance | None:
         placement = self.cluster.try_allocate(config)
         if placement is None:
             self.pending_launches[fn].append(config)
@@ -357,9 +517,22 @@ class Gateway:
             placement=placement,
             launched_at=self.events.now,
             init_duration=init,
+            prewarmed=prewarm,
         )
         self.pools[fn].add(inst)
         self.metrics.initializations += 1
+        if self._rec is not None:
+            self._rec.emit(
+                InstanceLaunched(
+                    t=self.events.now,
+                    app=self.app.name,
+                    function=fn,
+                    instance_id=inst.instance_id,
+                    config=config.key,
+                    init_duration=init,
+                    prewarm=prewarm,
+                )
+            )
         self.events.schedule_in(init, lambda: self._warmup_done(inst))
         return inst
 
@@ -375,7 +548,16 @@ class Gateway:
             # attempt — and replaced, as a real platform's crash-loop would.
             self.metrics.failed_initializations += 1
             fn, cfg = inst.function, inst.config
-            self._terminate(inst)
+            if self._rec is not None:
+                self._rec.emit(
+                    InstanceInitFailed(
+                        t=self.events.now,
+                        app=self.app.name,
+                        function=fn,
+                        instance_id=inst.instance_id,
+                    )
+                )
+            self._terminate(inst, reason="init-failed")
             if not self._shutting_down:
                 self._launch(fn, cfg)
             return
@@ -399,11 +581,11 @@ class Gateway:
         def fire() -> None:
             inst.expiry_timer = None
             if inst.state is InstanceState.IDLE:
-                self._terminate(inst)
+                self._terminate(inst, reason="keep-alive-expired")
 
         inst.expiry_timer = self.events.schedule_in(max(keep_alive, 0.0), fire)
 
-    def _terminate(self, inst: Instance) -> None:
+    def _terminate(self, inst: Instance, *, reason: str = "shutdown") -> None:
         if not inst.is_live:
             return
         if inst.expiry_timer is not None:
@@ -412,9 +594,40 @@ class Gateway:
         prev_state = inst.state
         inst.mark_terminated(self.events.now)
         self.cluster.release(inst.placement)
-        self.metrics.instances.append(
-            InstanceUsage.from_instance(inst, self.events.now)
-        )
+        usage = InstanceUsage.from_instance(inst, self.events.now)
+        self.metrics.instances.append(usage)
+        if self._rec is not None:
+            if (
+                inst.prewarmed
+                and inst.batches_served == 0
+                and reason != "init-failed"
+            ):
+                self._rec.emit(
+                    PrewarmMiss(
+                        t=self.events.now,
+                        app=self.app.name,
+                        function=inst.function,
+                        instance_id=inst.instance_id,
+                        idle_seconds=usage.idle_seconds,
+                    )
+                )
+            self._rec.emit(
+                InstanceExpired(
+                    t=self.events.now,
+                    app=self.app.name,
+                    function=inst.function,
+                    instance_id=inst.instance_id,
+                    config=inst.config.key,
+                    reason=reason,
+                    lifetime=usage.lifetime,
+                    init_seconds=usage.init_seconds,
+                    busy_seconds=usage.busy_seconds,
+                    idle_seconds=usage.idle_seconds,
+                    cost=usage.cost,
+                    batches_served=usage.batches_served,
+                    invocations_served=usage.invocations_served,
+                )
+            )
         self.pools[inst.function].remove(inst, prev_state)
         self._retry_pending_launches()
 
@@ -446,6 +659,17 @@ class Gateway:
             raise KeyError(f"unknown function {function!r}")
         if count < 1:
             raise ValueError(f"count must be >= 1, got {count}")
+        if self._rec is not None:
+            self._rec.emit(
+                PrewarmScheduled(
+                    t=self.events.now,
+                    app=self.app.name,
+                    function=function,
+                    fire_at=start_time,
+                    count=count,
+                    config=config.key if config is not None else "directive",
+                )
+            )
 
         def fire() -> None:
             directive = self.directives[function]
@@ -459,7 +683,7 @@ class Gateway:
             )
             available = max(0, uncommitted - claimed)
             for _ in range(max(0, count - available)):
-                self._launch(function, cfg)
+                self._launch(function, cfg, prewarm=True)
 
         self.events.schedule(start_time, fire)
 
@@ -475,10 +699,9 @@ class Gateway:
         def fire() -> None:
             if k < self._n_windows:
                 self._schedule_tick(k + 1)
-            self.window_counts.append(self._current_window_count)
-            self.metrics.arrival_samples.append(
-                (self.events.now, self._current_window_count)
-            )
+            arrivals = self._current_window_count
+            self.window_counts.append(arrivals)
+            self.metrics.arrival_samples.append((self.events.now, arrivals))
             self._current_window_count = 0
             cpu_pods = gpu_pods = 0
             for pool in self.pools.values():
@@ -486,6 +709,17 @@ class Gateway:
                 cpu_pods += cpu
                 gpu_pods += gpu
             self.metrics.pod_samples.append((self.events.now, cpu_pods, gpu_pods))
+            if self._rec is not None:
+                self._rec.emit(
+                    WindowTick(
+                        t=self.events.now,
+                        app=self.app.name,
+                        window_index=k - 1,
+                        arrivals=arrivals,
+                        cpu_pods=cpu_pods,
+                        gpu_pods=gpu_pods,
+                    )
+                )
             self.policy.on_window(self.events.now, self.ctx)
             self._enforce_min_warm()
 
@@ -507,14 +741,14 @@ class Gateway:
                 # instances beyond the target.
                 excess = -deficit
                 for inst in pool.idle_sorted(config=cfg)[:excess]:
-                    self._terminate(inst)
+                    self._terminate(inst, reason="scale-in")
             # Retire stale-config idle instances once the directive's own
             # configuration has *warm* coverage — retiring against merely
             # initializing replacements opens a cold window.
             if pool.warm_count(cfg) >= max(directive.min_warm, 1):
                 for inst in pool.idle_sorted():
                     if inst.config != cfg:
-                        self._terminate(inst)
+                        self._terminate(inst, reason="stale-config")
             elif not math.isinf(directive.keep_alive):
                 # Sweep idle instances whose expiry timer was armed under a
                 # previous (longer or infinite) keep-alive directive.
@@ -526,7 +760,7 @@ class Gateway:
                         now - inst.idle_since > grace + 1e-9
                         and live_n > directive.min_warm
                     ):
-                        self._terminate(inst)
+                        self._terminate(inst, reason="keep-alive-sweep")
                         live_n -= 1
 
     # ------------------------------------------------------------- teardown
@@ -536,7 +770,7 @@ class Gateway:
         for pool in self.pools.values():
             for inst in list(pool):
                 if inst.is_live:
-                    self._terminate(inst)
+                    self._terminate(inst, reason="shutdown")
         self.metrics.duration = now
         self.metrics.unfinished = self._open_invocations
         # Unfinished invocations are SLA violations by definition; drop them
@@ -544,3 +778,12 @@ class Gateway:
         self.metrics.invocations = [
             inv for inv in self.metrics.invocations if inv.finished
         ]
+        if self._rec is not None:
+            self._rec.emit(
+                RunFinished(
+                    t=now,
+                    app=self.app.name,
+                    duration=now,
+                    unfinished=self._open_invocations,
+                )
+            )

@@ -5,6 +5,14 @@ into one stage per DAG function.  A :class:`FunctionDirective` is the
 policy's standing instruction for one function — which configuration to
 launch, how long idle instances may linger (keep-alive), the batch limit,
 and a minimum warm fleet size for scale-out.
+
+Invocation ids: the gateway assigns each invocation an explicit id from
+its :meth:`Runtime.next_invocation_id <repro.simulator.runtime.Runtime>`
+counter, which starts at 0 per runtime — so a run's ids (and therefore
+its telemetry traces) are identical whether the process ran one
+simulation or a whole grid first, and serial vs parallel grids trace the
+same ids.  The process-global fallback below only numbers invocations
+constructed directly (tests, ad-hoc scripts) without an explicit id.
 """
 
 from __future__ import annotations
@@ -14,6 +22,8 @@ from dataclasses import dataclass, field
 
 from repro.hardware.configs import HardwareConfig
 
+#: Fallback numbering for directly constructed invocations only; runs
+#: never draw from this (see module docstring).
 _invocation_ids = itertools.count()
 
 

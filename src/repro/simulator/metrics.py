@@ -106,10 +106,15 @@ class RunMetrics:
         return violations / total
 
     def latency_percentile(self, q: float) -> float:
-        """Latency percentile ``q`` in [0, 100]."""
+        """Latency percentile ``q`` in [0, 100].
+
+        Returns ``nan`` when no invocation completed, matching
+        :meth:`summary`'s empty-run convention — a zero-traffic run is a
+        legitimate outcome (idle presets, short horizons), not an error.
+        """
         lat = self.latencies()
         if lat.size == 0:
-            raise ValueError("no completed invocations")
+            return float("nan")
         return float(np.percentile(lat, q))
 
     # -- cold starts -------------------------------------------------------------
@@ -142,9 +147,8 @@ class RunMetrics:
             "violation_ratio": self.violation_ratio(),
             "invocations": float(len(self.invocations)),
             "mean_latency": float(lat.mean()) if lat.size else float("nan"),
-            "p99_latency": (
-                float(np.percentile(lat, 99)) if lat.size else float("nan")
-            ),
+            "p50_latency": self.latency_percentile(50),
+            "p99_latency": self.latency_percentile(99),
             "reinit_fraction": self.reinit_fraction(),
             "cpu_cost": self.backend_cost(Backend.CPU),
             "gpu_cost": self.backend_cost(Backend.GPU),

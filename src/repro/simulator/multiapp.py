@@ -20,6 +20,8 @@ Seeding (``seeding=``):
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.simulator.cluster import Cluster
 from repro.simulator.events import EventQueue
 from repro.simulator.metrics import RunMetrics
@@ -29,6 +31,9 @@ from repro.simulator.runtime import (
     Runtime,
     derive_app_seed,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.telemetry.recorder import Recorder
 
 __all__ = ["Deployment", "MultiAppSimulator"]
 
@@ -46,6 +51,7 @@ class MultiAppSimulator:
         seed: int = 0,
         noisy: bool = True,
         seeding: str = "name",
+        recorder: "Recorder | None" = None,
     ) -> None:
         if not deployments:
             raise ValueError("need at least one deployment")
@@ -57,7 +63,9 @@ class MultiAppSimulator:
                 f"unknown seeding mode {seeding!r}; "
                 f"expected one of {SEEDING_MODES}"
             )
-        self.runtime = Runtime(cluster=cluster, drain_timeout=drain_timeout)
+        self.runtime = Runtime(
+            cluster=cluster, drain_timeout=drain_timeout, recorder=recorder
+        )
         self.gateways = [
             self.runtime.add_app(
                 d.app,

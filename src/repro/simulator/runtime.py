@@ -15,11 +15,19 @@ Per-application seeding comes in two flavours (see
 reordering — adding or permuting tenants never perturbs another tenant's
 noise streams — while the *legacy* positional scheme (``seed + index``)
 reproduces the historical :class:`MultiAppSimulator` results bit for bit.
+
+The runtime also owns the telemetry plane's sink: one
+:class:`~repro.telemetry.recorder.Recorder` shared by every gateway (the
+default :class:`~repro.telemetry.recorder.NullRecorder` records nothing
+and costs nothing), and the run-scoped invocation-id counter, so traces
+from independent runtimes are comparable regardless of how many runs one
+process executed before.
 """
 
 from __future__ import annotations
 
 import hashlib
+import itertools
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -28,10 +36,12 @@ from repro.simulator.cluster import Cluster
 from repro.simulator.events import EventQueue
 from repro.simulator.gateway import Gateway
 from repro.simulator.metrics import RunMetrics
+from repro.telemetry.recorder import NullRecorder
 from repro.workload.trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import
     from repro.policies.base import Policy
+    from repro.telemetry.recorder import Recorder
 
 
 #: Recognised per-app seeding schemes for multi-tenant runs.
@@ -71,13 +81,25 @@ class Runtime:
         cluster: Cluster | None = None,
         events: EventQueue | None = None,
         drain_timeout: float = 300.0,
+        recorder: "Recorder | None" = None,
     ) -> None:
         if drain_timeout < 0:
             raise ValueError(f"drain_timeout must be >= 0, got {drain_timeout}")
         self.events = events if events is not None else EventQueue()
         self.cluster = cluster if cluster is not None else Cluster.build()
         self.drain_timeout = float(drain_timeout)
+        self.recorder: "Recorder" = (
+            recorder if recorder is not None else NullRecorder()
+        )
         self.gateways: list[Gateway] = []
+        # Run-scoped invocation ids: every runtime numbers its invocations
+        # from 0, so traces are stable whether a process ran one simulation
+        # or a whole grid before this one.
+        self._invocation_ids = itertools.count()
+
+    def next_invocation_id(self) -> int:
+        """Next invocation id on this runtime's own counter."""
+        return next(self._invocation_ids)
 
     @property
     def now(self) -> float:

@@ -1,0 +1,63 @@
+"""Decision audit: why did the policy pick that config / keep-alive?
+
+Debugging an optimizer run used to mean print-statements in the policy's
+``on_window``.  With the telemetry plane every directive change is a
+:class:`~repro.telemetry.events.DirectiveChanged` event carrying the
+policy's own ``reason`` string, so the full decision history of a run —
+each CPU/GPU choice, each keep-alive regime flip, each burst scale-out —
+is a filter over the trace.  :func:`decision_audit` returns the typed
+rows; :func:`format_decision_audit` renders the table ``repro trace``
+prints after every traced run.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.telemetry.events import (
+    DirectiveChanged,
+    PrewarmHit,
+    PrewarmMiss,
+    PrewarmScheduled,
+    SimEvent,
+)
+
+__all__ = ["decision_audit", "prewarm_audit", "format_decision_audit"]
+
+_PREWARM_EVENTS = (PrewarmScheduled, PrewarmHit, PrewarmMiss)
+
+
+def decision_audit(events: Iterable[SimEvent]) -> list[DirectiveChanged]:
+    """Every directive change of the trace, in simulation order."""
+    return [e for e in events if isinstance(e, DirectiveChanged)]
+
+
+def prewarm_audit(events: Iterable[SimEvent]) -> list[SimEvent]:
+    """The pre-warm lifecycle — scheduled / hit / miss — in trace order."""
+    return [e for e in events if isinstance(e, _PREWARM_EVENTS)]
+
+
+def _fmt_keep_alive(value: float) -> str:
+    return "inf" if math.isinf(value) else f"{value:g}s"
+
+
+def format_decision_audit(events: Iterable[SimEvent]) -> str:
+    """Plain-text audit table of every directive change with its reason."""
+    rows = decision_audit(events)
+    if not rows:
+        return "(no directive changes recorded)"
+    multi_app = len({e.app for e in rows}) > 1
+    lines = [
+        (f"{'t':>8} " + (f"{'app':<16} " if multi_app else ""))
+        + f"{'function':<14} {'config':>7} {'keep':>5} {'batch':>5} "
+        f"{'warm':>4}  reason"
+    ]
+    for e in rows:
+        lines.append(
+            (f"{e.t:>7.1f}s " + (f"{e.app:<16} " if multi_app else ""))
+            + f"{e.function:<14} {e.config:>7} "
+            f"{_fmt_keep_alive(e.keep_alive):>5} {e.batch:>5} "
+            f"{e.min_warm:>4}  {e.reason}"
+        )
+    return "\n".join(lines)

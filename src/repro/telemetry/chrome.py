@@ -1,0 +1,249 @@
+"""Chrome trace-event export: open a simulation run in Perfetto.
+
+Converts a recorded event stream into the Trace Event Format JSON that
+``chrome://tracing`` and https://ui.perfetto.dev load directly.  The
+mapping renders the run the way an operator would want to scrub it:
+
+- one *process* per application;
+- one *thread* per container instance, carrying a ``lifetime`` span
+  (launch → termination) with the ``init`` span and every batched
+  execution span nested inside it;
+- a ``requests`` thread per application with an instant marker for each
+  arrival and each SLA violation;
+- a ``policy`` thread with instant markers for directive changes (the
+  recorded reason lands in ``args``) and scheduled pre-warms;
+- a ``pods`` counter track from the per-window fleet samples.
+
+Timestamps are microseconds (the format's native unit); simulation second
+0 maps to ts 0.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.telemetry.events import (
+    Arrival,
+    DirectiveChanged,
+    InstanceExpired,
+    InstanceLaunched,
+    PrewarmScheduled,
+    SimEvent,
+    SlaViolation,
+    StageFinish,
+    StageStart,
+    WindowTick,
+)
+
+__all__ = ["to_chrome_trace", "write_chrome_trace"]
+
+#: Synthetic thread ids; real instance threads start at ``_TID_BASE``.
+_TID_REQUESTS = 0
+_TID_POLICY = 1
+_TID_BASE = 2
+
+
+def _us(t: float) -> float:
+    """Simulation seconds -> trace microseconds."""
+    return t * 1e6
+
+
+def to_chrome_trace(events: Iterable[SimEvent]) -> dict[str, Any]:
+    """Build the Trace Event Format document for a recorded run."""
+    events = list(events)
+    pids = {app: i + 1 for i, app in enumerate(dict.fromkeys(e.app for e in events))}
+    out: list[dict[str, Any]] = []
+
+    for app, pid in pids.items():
+        out.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": app},
+            }
+        )
+        for tid, name in ((_TID_REQUESTS, "requests"), (_TID_POLICY, "policy")):
+            out.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": name},
+                }
+            )
+
+    # Per-instance bookkeeping keyed by (app, instance_id): launch info for
+    # the lifetime/init spans, and the currently executing batch.
+    launches: dict[tuple[str, int], InstanceLaunched] = {}
+    open_batches: dict[tuple[str, int], StageStart] = {}
+
+    for event in events:
+        pid = pids[event.app]
+        if isinstance(event, InstanceLaunched):
+            key = (event.app, event.instance_id)
+            launches[key] = event
+            tid = _TID_BASE + event.instance_id
+            out.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {
+                        "name": (
+                            f"{event.function}#{event.instance_id} "
+                            f"({event.config})"
+                        )
+                    },
+                }
+            )
+            out.append(
+                {
+                    "ph": "X",
+                    "name": "init",
+                    "cat": "init",
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": _us(event.t),
+                    "dur": _us(event.init_duration),
+                    "args": {"prewarm": event.prewarm},
+                }
+            )
+        elif isinstance(event, InstanceExpired):
+            key = (event.app, event.instance_id)
+            launch = launches.pop(key, None)
+            start = launch.t if launch is not None else event.t - event.lifetime
+            out.append(
+                {
+                    "ph": "X",
+                    "name": f"{event.function} lifetime",
+                    "cat": "instance",
+                    "pid": pid,
+                    "tid": _TID_BASE + event.instance_id,
+                    "ts": _us(start),
+                    "dur": _us(event.lifetime),
+                    "args": {
+                        "config": event.config,
+                        "reason": event.reason,
+                        "cost": event.cost,
+                        "batches_served": event.batches_served,
+                    },
+                }
+            )
+        elif isinstance(event, StageStart):
+            # A batch emits one StageStart per member at the same (instance,
+            # time); the first opens the span, the rest ride along.
+            key = (event.app, event.instance_id)
+            if key not in open_batches or open_batches[key].t != event.t:
+                open_batches[key] = event
+        elif isinstance(event, StageFinish):
+            key = (event.app, event.instance_id)
+            start = open_batches.pop(key, None)
+            if start is not None:
+                out.append(
+                    {
+                        "ph": "X",
+                        "name": f"{start.function} x{start.batch}",
+                        "cat": "exec",
+                        "pid": pid,
+                        "tid": _TID_BASE + event.instance_id,
+                        "ts": _us(start.t),
+                        "dur": _us(event.t - start.t),
+                        "args": {"batch": start.batch, "cold": start.cold},
+                    }
+                )
+        elif isinstance(event, Arrival):
+            out.append(
+                {
+                    "ph": "i",
+                    "name": f"arrival #{event.invocation_id}",
+                    "cat": "request",
+                    "s": "t",
+                    "pid": pid,
+                    "tid": _TID_REQUESTS,
+                    "ts": _us(event.t),
+                }
+            )
+        elif isinstance(event, SlaViolation):
+            out.append(
+                {
+                    "ph": "i",
+                    "name": f"SLA violation #{event.invocation_id}",
+                    "cat": "sla",
+                    "s": "t",
+                    "pid": pid,
+                    "tid": _TID_REQUESTS,
+                    "ts": _us(event.t),
+                    "args": {"latency": event.latency, "sla": event.sla},
+                }
+            )
+        elif isinstance(event, DirectiveChanged):
+            out.append(
+                {
+                    "ph": "i",
+                    "name": f"directive {event.function} -> {event.config}",
+                    "cat": "policy",
+                    "s": "t",
+                    "pid": pid,
+                    "tid": _TID_POLICY,
+                    "ts": _us(event.t),
+                    "args": {
+                        # inf (always-on) is not valid strict JSON; stringify.
+                        "keep_alive": (
+                            event.keep_alive
+                            if math.isfinite(event.keep_alive)
+                            else "inf"
+                        ),
+                        "batch": event.batch,
+                        "min_warm": event.min_warm,
+                        "reason": event.reason,
+                    },
+                }
+            )
+        elif isinstance(event, PrewarmScheduled):
+            out.append(
+                {
+                    "ph": "i",
+                    "name": f"prewarm {event.function}",
+                    "cat": "policy",
+                    "s": "t",
+                    "pid": pid,
+                    "tid": _TID_POLICY,
+                    "ts": _us(event.t),
+                    "args": {
+                        "fire_at": event.fire_at,
+                        "count": event.count,
+                        "config": event.config,
+                    },
+                }
+            )
+        elif isinstance(event, WindowTick):
+            out.append(
+                {
+                    "ph": "C",
+                    "name": "pods",
+                    "pid": pid,
+                    "tid": 0,
+                    "ts": _us(event.t),
+                    "args": {"cpu": event.cpu_pods, "gpu": event.gpu_pods},
+                }
+            )
+
+    return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(events: Iterable[SimEvent], path: str | Path) -> int:
+    """Write the Chrome trace JSON; returns the number of trace entries.
+
+    The document is strict JSON (non-finite keep-alives are stringified
+    in ``to_chrome_trace``), so it loads in Perfetto without sanitizing.
+    """
+    doc = to_chrome_trace(events)
+    Path(path).write_text(json.dumps(doc, allow_nan=False))
+    return len(doc["traceEvents"])

@@ -1,0 +1,361 @@
+"""Typed simulation events: the primary observability artifact.
+
+Every observable thing the simulator does — an invocation arriving, a
+stage dispatching onto an instance, a container launching or expiring, a
+policy changing a standing directive — is one immutable event in this
+taxonomy.  Metrics (:mod:`repro.telemetry.aggregate`), trace exports
+(:mod:`repro.telemetry.chrome`) and decision audits
+(:mod:`repro.telemetry.audit`) are all *derived views* over the event
+stream; nothing downstream needs hooks in the simulator hot loop.
+
+Events are flat frozen dataclasses with JSON-scalar fields only, so a
+trace round-trips losslessly through JSONL: ``to_dict`` / ``from_dict``
+use the class registry keyed by each event's ``type`` tag, and
+:func:`validate_event` checks a decoded dict against the field schema
+(:data:`EVENT_SCHEMA`) without instantiating it.
+
+Common fields: ``t`` is simulation time in seconds, ``app`` the owning
+application's name.  Hardware configurations travel as their stable
+string ``key`` (``"cpu-4"``, ``"gpu-30"``); use
+:meth:`repro.hardware.configs.HardwareConfig.from_key` to rehydrate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, fields
+from typing import Any, ClassVar, Mapping
+
+__all__ = [
+    "SimEvent",
+    "RunStarted",
+    "RunFinished",
+    "Arrival",
+    "StageReady",
+    "StageStart",
+    "StageFinish",
+    "ColdStart",
+    "InvocationFinished",
+    "SlaViolation",
+    "InstanceLaunched",
+    "InstanceInitFailed",
+    "InstanceExpired",
+    "DirectiveChanged",
+    "PrewarmScheduled",
+    "PrewarmHit",
+    "PrewarmMiss",
+    "WindowTick",
+    "EVENT_TYPES",
+    "EVENT_SCHEMA",
+    "to_dict",
+    "from_dict",
+    "validate_event",
+]
+
+#: ``type`` tag -> event class, populated by ``SimEvent.__init_subclass__``.
+EVENT_TYPES: dict[str, type["SimEvent"]] = {}
+
+
+@dataclass(frozen=True)
+class SimEvent:
+    """Base of all simulation events (time + owning application)."""
+
+    #: JSON ``type`` tag; every concrete subclass overrides this.
+    type: ClassVar[str] = ""
+
+    t: float
+    app: str
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        tag = cls.__dict__.get("type", "")
+        if not tag:
+            raise TypeError(f"{cls.__name__} must define a `type` tag")
+        if tag in EVENT_TYPES:
+            raise TypeError(f"duplicate event type tag {tag!r}")
+        EVENT_TYPES[tag] = cls
+
+
+# --------------------------------------------------------------------- run
+@dataclass(frozen=True)
+class RunStarted(SimEvent):
+    """One gateway began serving its trace (carries the run's identity)."""
+
+    type: ClassVar[str] = "run_started"
+
+    policy: str
+    sla: float
+    window: float
+    functions: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class RunFinished(SimEvent):
+    """The gateway finalized: fleet torn down, metrics sealed."""
+
+    type: ClassVar[str] = "run_finished"
+
+    duration: float
+    unfinished: int
+
+
+# --------------------------------------------------------------- invocations
+@dataclass(frozen=True)
+class Arrival(SimEvent):
+    """A user request reached the gateway."""
+
+    type: ClassVar[str] = "arrival"
+
+    invocation_id: int
+
+
+@dataclass(frozen=True)
+class StageReady(SimEvent):
+    """All DAG predecessors of one stage finished; it is now queued."""
+
+    type: ClassVar[str] = "stage_ready"
+
+    invocation_id: int
+    function: str
+
+
+@dataclass(frozen=True)
+class StageStart(SimEvent):
+    """One stage of one invocation began executing on an instance."""
+
+    type: ClassVar[str] = "stage_start"
+
+    invocation_id: int
+    function: str
+    instance_id: int
+    batch: int
+    cold: bool
+
+
+@dataclass(frozen=True)
+class StageFinish(SimEvent):
+    """One stage of one invocation finished executing."""
+
+    type: ClassVar[str] = "stage_finish"
+
+    invocation_id: int
+    function: str
+    instance_id: int
+
+
+@dataclass(frozen=True)
+class ColdStart(SimEvent):
+    """A stage was served by an instance that was not warm when it became
+    ready — the Fig. 9b (re)initialization measure."""
+
+    type: ClassVar[str] = "cold_start"
+
+    invocation_id: int
+    function: str
+    instance_id: int
+    wait: float
+
+
+@dataclass(frozen=True)
+class InvocationFinished(SimEvent):
+    """Every sink stage of one invocation completed."""
+
+    type: ClassVar[str] = "invocation_finished"
+
+    invocation_id: int
+    latency: float
+
+
+@dataclass(frozen=True)
+class SlaViolation(SimEvent):
+    """An invocation completed past the application's SLA."""
+
+    type: ClassVar[str] = "sla_violation"
+
+    invocation_id: int
+    latency: float
+    sla: float
+
+
+# ----------------------------------------------------------------- instances
+@dataclass(frozen=True)
+class InstanceLaunched(SimEvent):
+    """A container started initializing (resources allocated, billed)."""
+
+    type: ClassVar[str] = "instance_launched"
+
+    function: str
+    instance_id: int
+    config: str
+    init_duration: float
+    prewarm: bool
+
+
+@dataclass(frozen=True)
+class InstanceInitFailed(SimEvent):
+    """Initialization failed; the container is torn down and replaced."""
+
+    type: ClassVar[str] = "instance_init_failed"
+
+    function: str
+    instance_id: int
+
+
+@dataclass(frozen=True)
+class InstanceExpired(SimEvent):
+    """A container terminated; carries its final billing snapshot."""
+
+    type: ClassVar[str] = "instance_expired"
+
+    function: str
+    instance_id: int
+    config: str
+    reason: str
+    lifetime: float
+    init_seconds: float
+    busy_seconds: float
+    idle_seconds: float
+    cost: float
+    batches_served: int
+    invocations_served: int
+
+
+# ------------------------------------------------------------------ decisions
+@dataclass(frozen=True)
+class DirectiveChanged(SimEvent):
+    """The policy replaced a function's standing directive.
+
+    ``reason`` is the policy's own explanation for the change — the
+    decision-audit view (:mod:`repro.telemetry.audit`) is built from it.
+    """
+
+    type: ClassVar[str] = "directive_changed"
+
+    function: str
+    config: str
+    keep_alive: float
+    batch: int
+    min_warm: int
+    warm_grace: float
+    reason: str
+
+
+@dataclass(frozen=True)
+class PrewarmScheduled(SimEvent):
+    """The policy asked for instances to be warming from ``fire_at``."""
+
+    type: ClassVar[str] = "prewarm_scheduled"
+
+    function: str
+    fire_at: float
+    count: int
+    config: str
+
+
+@dataclass(frozen=True)
+class PrewarmHit(SimEvent):
+    """A pre-warmed instance served its first batch (overlap succeeded)."""
+
+    type: ClassVar[str] = "prewarm_hit"
+
+    function: str
+    instance_id: int
+    idle_wait: float
+
+
+@dataclass(frozen=True)
+class PrewarmMiss(SimEvent):
+    """A pre-warmed instance expired without ever serving a batch."""
+
+    type: ClassVar[str] = "prewarm_miss"
+
+    function: str
+    instance_id: int
+    idle_seconds: float
+
+
+# -------------------------------------------------------------------- windows
+@dataclass(frozen=True)
+class WindowTick(SimEvent):
+    """One control window closed (arrival count + fleet size samples)."""
+
+    type: ClassVar[str] = "window_tick"
+
+    window_index: int
+    arrivals: int
+    cpu_pods: int
+    gpu_pods: int
+
+
+# ----------------------------------------------------------------- (de)coding
+def _allowed_json_types(annotation: str) -> tuple[type, ...]:
+    """Accepted JSON-decoded types for one dataclass field annotation."""
+    return {
+        "float": (int, float),  # JSON renders 2.0 and 2 interchangeably
+        "int": (int,),
+        "bool": (bool,),
+        "str": (str,),
+    }.get(annotation, (list, tuple))
+
+
+#: ``type`` tag -> {field name -> allowed python types} for validation.
+EVENT_SCHEMA: dict[str, dict[str, tuple[type, ...]]] = {
+    tag: {f.name: _allowed_json_types(str(f.type)) for f in fields(cls)}
+    for tag, cls in EVENT_TYPES.items()
+}
+
+
+def to_dict(event: SimEvent) -> dict[str, Any]:
+    """Flat JSON-ready dict with the event's ``type`` tag first."""
+    d: dict[str, Any] = {"type": event.type}
+    d.update(dataclasses.asdict(event))
+    functions = d.get("functions")
+    if isinstance(functions, tuple):
+        d["functions"] = list(functions)
+    return d
+
+
+def from_dict(data: Mapping[str, Any]) -> SimEvent:
+    """Rebuild the typed event a :func:`to_dict` dict came from."""
+    payload = dict(data)
+    tag = payload.pop("type", None)
+    if tag not in EVENT_TYPES:
+        raise ValueError(f"unknown event type {tag!r}")
+    cls = EVENT_TYPES[tag]
+    if "functions" in payload:
+        payload["functions"] = tuple(payload["functions"])
+    return cls(**payload)
+
+
+def validate_event(data: Mapping[str, Any]) -> list[str]:
+    """Schema-check one decoded event dict; returns problems (empty = ok).
+
+    Checks the ``type`` tag, the exact field set, and each field's JSON
+    type — without instantiating the event class, so a trace file can be
+    validated independently of simulator state.
+    """
+    problems: list[str] = []
+    tag = data.get("type")
+    if tag not in EVENT_SCHEMA:
+        return [f"unknown event type {tag!r}"]
+    schema = EVENT_SCHEMA[tag]
+    got = set(data) - {"type"}
+    missing = set(schema) - got
+    extra = got - set(schema)
+    if missing:
+        problems.append(f"{tag}: missing fields {sorted(missing)}")
+    if extra:
+        problems.append(f"{tag}: unexpected fields {sorted(extra)}")
+    for name, allowed in schema.items():
+        if name not in data:
+            continue
+        value = data[name]
+        # bool is an int subclass; keep int fields from accepting bools.
+        if isinstance(value, bool) and bool not in allowed:
+            problems.append(f"{tag}.{name}: bool not allowed")
+        elif not isinstance(value, allowed):
+            problems.append(
+                f"{tag}.{name}: {type(value).__name__} not in "
+                f"{sorted(t.__name__ for t in allowed)}"
+            )
+    return problems

@@ -1,0 +1,117 @@
+"""Recorder protocol: where the simulator's event stream goes.
+
+The :class:`~repro.simulator.runtime.Runtime` owns exactly one recorder
+and every gateway emits through it.  Two implementations:
+
+- :class:`NullRecorder` — the default.  ``enabled`` is ``False``, so the
+  gateway skips event *construction* entirely (one attribute check per
+  emission point); simulated outcomes are bit-identical to a run with no
+  telemetry plane at all, and the hot loop pays nothing.
+- :class:`TraceRecorder` — appends every event to an in-memory list and
+  can persist it as JSONL (one event dict per line), the interchange
+  format ``repro trace`` writes, :func:`read_jsonl` loads, and CI
+  validates against :data:`repro.telemetry.events.EVENT_SCHEMA`.
+
+Recorders are deliberately dumb: no filtering, no aggregation.  Derived
+views (metrics, Chrome traces, decision audits) consume the recorded
+stream after the run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator, Protocol, runtime_checkable
+
+from repro.telemetry.events import SimEvent, from_dict, to_dict
+
+__all__ = [
+    "Recorder",
+    "NullRecorder",
+    "TraceRecorder",
+    "write_jsonl",
+    "read_jsonl",
+]
+
+
+@runtime_checkable
+class Recorder(Protocol):
+    """Sink for simulation events.
+
+    ``enabled`` lets emitters skip building event objects when nobody is
+    listening — the pay-for-what-you-use contract.  ``emit`` must be safe
+    to call from inside the event loop (no I/O on the hot path).
+    """
+
+    enabled: bool
+
+    def emit(self, event: SimEvent) -> None:
+        """Record one event."""
+        ...  # pragma: no cover - protocol stub
+
+
+class NullRecorder:
+    """Zero-overhead default recorder: drops everything."""
+
+    enabled = False
+
+    def emit(self, event: SimEvent) -> None:  # pragma: no cover - never called
+        """Discard the event (emitters skip calling this when disabled)."""
+
+
+class TraceRecorder:
+    """In-memory event recorder with JSONL persistence."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: list[SimEvent] = []
+
+    def emit(self, event: SimEvent) -> None:
+        """Append one event to the in-memory trace."""
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[SimEvent]:
+        return iter(self.events)
+
+    def events_for(self, app: str) -> list[SimEvent]:
+        """This trace restricted to one application's events."""
+        return [e for e in self.events if e.app == app]
+
+    @property
+    def apps(self) -> tuple[str, ...]:
+        """Application names present in the trace, in first-seen order."""
+        return tuple(dict.fromkeys(e.app for e in self.events))
+
+    def write_jsonl(self, path: str | Path) -> int:
+        """Persist the trace as JSONL; returns the number of events."""
+        return write_jsonl(self.events, path)
+
+
+def write_jsonl(events: Iterable[SimEvent], path: str | Path) -> int:
+    """Write events to ``path``, one JSON object per line."""
+    n = 0
+    with Path(path).open("w", encoding="utf-8") as fh:
+        for event in events:
+            fh.write(json.dumps(to_dict(event), separators=(",", ":")))
+            fh.write("\n")
+            n += 1
+    return n
+
+
+def read_jsonl(path: str | Path) -> list[SimEvent]:
+    """Load a JSONL trace back into typed events."""
+    events: list[SimEvent] = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(from_dict(json.loads(line)))
+            except (json.JSONDecodeError, TypeError, ValueError) as exc:
+                raise ValueError(f"{path}:{lineno}: bad event line: {exc}") from exc
+    return events

@@ -19,6 +19,7 @@ GOLDEN = {
         "violation_ratio": 0.0625,
         "invocations": 32.0,
         "mean_latency": 1.8374996431873079,
+        "p50_latency": 1.7217652206835865,
         "p99_latency": 4.176380256244681,
         "reinit_fraction": 0.0234375,
         "cpu_cost": 0.009589276514211511,
@@ -29,6 +30,7 @@ GOLDEN = {
         "violation_ratio": 0.0,
         "invocations": 32.0,
         "mean_latency": 1.1689839044284174,
+        "p50_latency": 1.1668884110355293,
         "p99_latency": 1.3531786860133097,
         "reinit_fraction": 0.0,
         "cpu_cost": 0.04533333333333334,

@@ -1,5 +1,7 @@
 """Focused tests for RunMetrics accounting and FunctionDirective validation."""
 
+import math
+
 import numpy as np
 import pytest
 
@@ -71,8 +73,13 @@ class TestRunMetricsAccounting:
         m = RunMetrics(app="a", policy="p", sla=2.0)
         m.invocations = [make_invocation(latency=v) for v in (1.0, 2.0, 3.0)]
         assert m.latency_percentile(50) == pytest.approx(2.0)
-        with pytest.raises(ValueError):
-            RunMetrics(app="a", policy="p", sla=2.0).latency_percentile(50)
+
+    def test_latency_percentile_empty_is_nan(self):
+        # Zero-traffic runs are legitimate: percentile matches summary()'s
+        # NaN convention instead of raising.
+        empty = RunMetrics(app="a", policy="p", sla=2.0)
+        assert math.isnan(empty.latency_percentile(50))
+        assert math.isnan(empty.summary()["p50_latency"])
 
     def test_reinit_fraction_and_per_invocation(self):
         m = RunMetrics(app="a", policy="p", sla=2.0)

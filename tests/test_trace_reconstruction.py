@@ -1,0 +1,176 @@
+"""Property tests: metrics are a pure view over the event stream.
+
+The telemetry plane's core contract is that ``aggregate(trace)`` rebuilds
+the exact ``RunMetrics`` the live counters produced — float for float —
+for any (app, policy) combination, through a JSONL round-trip, and for
+multi-tenant runs.  These tests pin that contract, plus the per-runtime
+invocation-id guarantee that makes traces comparable across processes
+and grid orderings.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import build_environment
+from repro.simulator import Deployment, MultiAppSimulator, ServerlessSimulator
+from repro.telemetry import (
+    TraceRecorder,
+    aggregate,
+    aggregate_all,
+    decision_audit,
+    read_jsonl,
+    to_dict,
+    validate_event,
+)
+from repro.telemetry.events import Arrival, DirectiveChanged
+
+PAIRS = [
+    ("image-query", "smiless"),
+    ("amber-alert", "on-demand"),
+    ("voice-assistant", "grandslam"),
+    ("image-query", "always-on"),
+]
+
+
+@pytest.fixture(scope="module")
+def environments():
+    return {
+        app: build_environment(app, preset="steady", sla=2.0, duration=80.0, seed=0)
+        for app in {a for a, _ in PAIRS}
+    }
+
+
+def assert_metrics_equal(live, rebuilt):
+    """Exact equality of every counter and derived view."""
+    assert rebuilt.app == live.app
+    assert rebuilt.policy == live.policy
+    assert rebuilt.sla == live.sla
+    assert rebuilt.duration == live.duration
+    assert rebuilt.unfinished == live.unfinished
+    assert rebuilt.stage_executions == live.stage_executions
+    assert rebuilt.cold_stage_executions == live.cold_stage_executions
+    assert rebuilt.initializations == live.initializations
+    assert rebuilt.failed_initializations == live.failed_initializations
+    assert rebuilt.pod_samples == live.pod_samples
+    assert rebuilt.arrival_samples == live.arrival_samples
+    assert rebuilt.total_cost() == live.total_cost()
+    assert len(rebuilt.instances) == len(live.instances)
+    assert [i.latency for i in rebuilt.invocations] == [
+        i.latency for i in live.invocations
+    ]
+    a, b = rebuilt.summary(), live.summary()
+    assert a.keys() == b.keys()
+    for key in a:
+        if isinstance(a[key], float) and math.isnan(a[key]):
+            assert math.isnan(b[key])
+        else:
+            assert a[key] == b[key], key
+
+
+@pytest.mark.parametrize("app,policy", PAIRS)
+def test_aggregate_reconstructs_live_counters(environments, app, policy):
+    env = environments[app]
+    rec = TraceRecorder()
+    live = ServerlessSimulator(
+        env.app, env.trace, env.make_policy(policy), seed=3, recorder=rec
+    ).run()
+    assert len(rec) > 0
+    # Every emitted event satisfies the published schema.
+    for event in rec:
+        assert validate_event(to_dict(event)) == []
+    assert_metrics_equal(live, aggregate(rec.events))
+
+
+def test_aggregate_survives_jsonl_round_trip(environments, tmp_path):
+    env = environments["image-query"]
+    rec = TraceRecorder()
+    live = ServerlessSimulator(
+        env.app, env.trace, env.make_policy("smiless"), seed=3, recorder=rec
+    ).run()
+    path = tmp_path / "run.jsonl"
+    rec.write_jsonl(path)
+    assert_metrics_equal(live, aggregate(read_jsonl(path)))
+
+
+def test_aggregate_with_init_failures(environments):
+    env = environments["image-query"]
+    rec = TraceRecorder()
+    live = ServerlessSimulator(
+        env.app,
+        env.trace,
+        env.make_policy("on-demand"),
+        seed=3,
+        init_failure_rate=0.3,
+        recorder=rec,
+    ).run()
+    assert live.failed_initializations > 0
+    assert_metrics_equal(live, aggregate(rec.events))
+
+
+def test_aggregate_all_multiapp(environments):
+    envs = [environments["image-query"], environments["amber-alert"]]
+    rec = TraceRecorder()
+    live = MultiAppSimulator(
+        [Deployment(e.app, e.trace, e.make_policy("on-demand")) for e in envs],
+        seed=3,
+        recorder=rec,
+    ).run()
+    rebuilt = aggregate_all(rec.events)
+    assert set(rebuilt) == set(live)
+    for name in live:
+        assert_metrics_equal(live[name], rebuilt[name])
+    # aggregate() on a multi-app trace needs the app made explicit.
+    with pytest.raises(ValueError):
+        aggregate(rec.events)
+    assert_metrics_equal(
+        live["image-query"], aggregate(rec.events, app="image-query")
+    )
+
+
+def test_null_recorder_runs_bit_identical(environments):
+    env = environments["image-query"]
+
+    def run(recorder=None):
+        return ServerlessSimulator(
+            env.app, env.trace, env.make_policy("smiless"), seed=3,
+            recorder=recorder,
+        ).run().summary()
+
+    assert run() == run(TraceRecorder())
+
+
+def test_every_directive_change_has_a_reason(environments):
+    """The decision audit must explain every change (acceptance criterion)."""
+    for app, policy in PAIRS:
+        env = environments[app]
+        rec = TraceRecorder()
+        ServerlessSimulator(
+            env.app, env.trace, env.make_policy(policy), seed=3, recorder=rec
+        ).run()
+        changes = decision_audit(rec.events)
+        assert changes, f"{policy} issued no directives"
+        for change in changes:
+            assert isinstance(change, DirectiveChanged)
+            assert change.reason.strip(), (
+                f"{policy} changed {change.function} without a reason"
+            )
+
+
+def test_invocation_ids_are_per_runtime(environments):
+    """Two runs in one process trace identical invocation ids (satellite 1)."""
+    env = environments["amber-alert"]
+
+    def arrival_ids():
+        rec = TraceRecorder()
+        ServerlessSimulator(
+            env.app, env.trace, env.make_policy("on-demand"), seed=3,
+            recorder=rec,
+        ).run()
+        ids = [e.invocation_id for e in rec if isinstance(e, Arrival)]
+        return ids
+
+    first, second = arrival_ids(), arrival_ids()
+    assert first == second
+    assert first[0] == 0  # fresh counter per runtime, not process-global
+    assert first == sorted(first)
