@@ -45,6 +45,15 @@ from repro.experiments.runners import APP_BUILDERS, POLICY_NAMES
 from repro.workload.azure import PRESETS
 
 
+def _load_faults(args):
+    """Parse ``--faults <plan.json>`` into a FaultPlan (``None`` when absent)."""
+    if getattr(args, "faults", None) is None:
+        return None
+    from repro.faults import FaultPlan
+
+    return FaultPlan.from_json(args.faults)
+
+
 def _print_rows(rows) -> None:
     print(
         f"{'policy':<16} {'cost':>9} {'violations':>11} {'mean lat':>9} "
@@ -70,7 +79,15 @@ def cmd_compare(args) -> int:
         f"{args.app}: {len(env.trace)} invocations over "
         f"{env.trace.duration:.0f}s (preset {args.preset!r}, SLA {args.sla}s)\n"
     )
-    _print_rows(run_comparison(env, tuple(args.policies), workers=args.workers))
+    _print_rows(
+        run_comparison(
+            env,
+            tuple(args.policies),
+            workers=args.workers,
+            init_failure_rate=args.init_failure_rate,
+            faults=_load_faults(args),
+        )
+    )
     return 0
 
 
@@ -81,7 +98,12 @@ def cmd_sweep(args) -> int:
     print(f"SLA sweep on {args.app} under {args.policy!r}\n")
     print(f"{'SLA':>6} {'cost':>9} {'violations':>11} {'mean lat':>9}")
     for sla, row in run_sla_sweep(
-        env, tuple(args.slas), args.policy, workers=args.workers
+        env,
+        tuple(args.slas),
+        args.policy,
+        workers=args.workers,
+        init_failure_rate=args.init_failure_rate,
+        faults=_load_faults(args),
     ):
         print(
             f"{sla:>5.1f}s ${row.total_cost:>8.4f} "
@@ -104,7 +126,13 @@ def cmd_multiapp(args) -> int:
         f"Co-running {len(envs)} applications on one shared cluster "
         f"under {args.policy!r}\n"
     )
-    results = run_multi_app(envs, args.policy, workers=args.workers)
+    results = run_multi_app(
+        envs,
+        args.policy,
+        workers=args.workers,
+        init_failure_rate=args.init_failure_rate,
+        faults=_load_faults(args),
+    )
     _print_rows(
         [row for _, row in sorted(results.items())]
     )
@@ -282,6 +310,8 @@ def cmd_trace(args) -> int:
         env.make_policy(args.policy),
         seed=args.seed + 3,
         recorder=recorder,
+        init_failure_rate=args.init_failure_rate,
+        faults=_load_faults(args),
     ).run()
 
     # Every emitted event must satisfy the published schema ...
@@ -348,6 +378,21 @@ def build_parser() -> argparse.ArgumentParser:
                 help="worker processes for the experiment grid (1 = serial)",
             )
 
+    def chaos(p):
+        p.add_argument(
+            "--init-failure-rate",
+            type=float,
+            default=0.0,
+            help="probability that a container initialization fails (0..1)",
+        )
+        p.add_argument(
+            "--faults",
+            default=None,
+            metavar="PLAN.json",
+            help="attach a fault plan (machine outages, execution faults, "
+            "stragglers, resilience knobs) from a JSON file",
+        )
+
     p = sub.add_parser("compare", help="compare policies on one app")
     p.add_argument("app", choices=sorted(APP_BUILDERS))
     p.add_argument("--sla", type=float, default=2.0)
@@ -358,6 +403,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=POLICY_NAMES,
     )
     common(p, workers=True)
+    chaos(p)
     p.set_defaults(func=cmd_compare)
 
     p = sub.add_parser("sweep", help="SLA sweep under one policy")
@@ -365,11 +411,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--policy", default="smiless", choices=POLICY_NAMES)
     p.add_argument("--slas", nargs="+", type=float, default=[1.0, 2.0, 4.0, 8.0])
     common(p, workers=True)
+    chaos(p)
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("multiapp", help="co-run the three evaluation apps")
     p.add_argument("--policy", default="smiless", choices=POLICY_NAMES)
     common(p, workers=True)
+    chaos(p)
     p.set_defaults(func=cmd_multiapp)
 
     p = sub.add_parser(
@@ -433,6 +481,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also export a Chrome trace-event file (open in Perfetto)",
     )
     common(p)
+    chaos(p)
     p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("profile", help="profile one Table I model")

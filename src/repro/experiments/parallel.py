@@ -22,7 +22,10 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from functools import lru_cache
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.faults.plan import FaultPlan
 
 
 @dataclass(frozen=True)
@@ -46,12 +49,19 @@ class CellSpec:
     written as JSONL into that directory (one file per cell, named after the
     cell's coordinates).  ``None`` — the default — records nothing and adds
     no overhead.
+
+    ``init_failure_rate`` injects per-warmup initialization failures;
+    ``faults`` attaches a full :class:`~repro.faults.FaultPlan` (machine
+    outages, execution faults, stragglers, resilience knobs).  Both are
+    picklable, so chaos cells fan across workers like any other cell.
     """
 
     env: EnvSpec
     policy: str
     sim_seed: int = 3
     trace_dir: str | None = None
+    init_failure_rate: float = 0.0
+    faults: "FaultPlan | None" = None
 
 
 @dataclass(frozen=True)
@@ -70,6 +80,8 @@ class MultiAppCellSpec:
     sim_seed: int = 3
     seeding: str = "name"
     trace_dir: str | None = None
+    init_failure_rate: float = 0.0
+    faults: "FaultPlan | None" = None
 
 
 @dataclass(frozen=True)
@@ -161,6 +173,8 @@ def run_cell(spec: CellSpec | MultiAppCellSpec) -> CellResult:
         env.make_policy(spec.policy),
         seed=spec.sim_seed,
         recorder=recorder,
+        init_failure_rate=spec.init_failure_rate,
+        faults=spec.faults,
     )
     metrics = sim.run()
     wall = time.perf_counter() - start
@@ -184,7 +198,12 @@ def _run_multiapp_cell(spec: MultiAppCellSpec) -> CellResult:
         for env in envs
     ]
     sim = MultiAppSimulator(
-        deployments, seed=spec.sim_seed, seeding=spec.seeding, recorder=recorder
+        deployments,
+        seed=spec.sim_seed,
+        seeding=spec.seeding,
+        recorder=recorder,
+        init_failure_rate=spec.init_failure_rate,
+        faults=spec.faults,
     )
     results = sim.run()
     wall = time.perf_counter() - start

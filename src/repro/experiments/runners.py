@@ -13,8 +13,12 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.faults.plan import FaultPlan
 
 from repro.dag import amber_alert, image_query, voice_assistant
 from repro.dag.graph import AppDAG
@@ -147,12 +151,16 @@ def run_comparison(
     *,
     seed: int = 3,
     workers: int = 1,
+    init_failure_rate: float = 0.0,
+    faults: "FaultPlan | None" = None,
 ) -> list[ComparisonRow]:
     """Serve the environment's trace under each policy.
 
     Compiles to grid cells through the scenario compiler and runs through
     :func:`run_grid` — with ``workers > 1`` policies fan across worker
     processes, and summaries are identical to a serial run.
+    ``init_failure_rate`` / ``faults`` inject the same failure regime into
+    every policy's run, making chaos comparisons apples-to-apples.
     """
     if env.spec is None:
         if workers > 1:
@@ -161,13 +169,22 @@ def run_comparison(
             ComparisonRow.from_metrics(
                 name,
                 ServerlessSimulator(
-                    env.app, env.trace, env.make_policy(name), seed=seed
+                    env.app,
+                    env.trace,
+                    env.make_policy(name),
+                    seed=seed,
+                    init_failure_rate=init_failure_rate,
+                    faults=faults,
                 ).run(),
             )
             for name in policies
         ]
     scenario = ScenarioSpec.for_environment(
-        env.spec, policies=tuple(policies), seeds=(seed,)
+        env.spec,
+        policies=tuple(policies),
+        seeds=(seed,),
+        init_failure_rate=init_failure_rate,
+        faults=faults,
     )
     return [
         ComparisonRow.from_summary(res.spec.policy, res.summary)
@@ -182,6 +199,8 @@ def run_sla_sweep(
     *,
     seed: int = 3,
     workers: int = 1,
+    init_failure_rate: float = 0.0,
+    faults: "FaultPlan | None" = None,
 ) -> list[tuple[float, ComparisonRow]]:
     """Re-serve the trace at each SLA target under one policy.
 
@@ -202,12 +221,22 @@ def run_sla_sweep(
                 trace=env.trace,
             )
             metrics = ServerlessSimulator(
-                app, env.trace, tuned.make_policy(policy), seed=seed
+                app,
+                env.trace,
+                tuned.make_policy(policy),
+                seed=seed,
+                init_failure_rate=init_failure_rate,
+                faults=faults,
             ).run()
             out.append((sla, ComparisonRow.from_metrics(policy, metrics)))
         return out
     scenario = ScenarioSpec.for_environment(
-        env.spec, policies=(policy,), slas=tuple(slas), seeds=(seed,)
+        env.spec,
+        policies=(policy,),
+        slas=tuple(slas),
+        seeds=(seed,),
+        init_failure_rate=init_failure_rate,
+        faults=faults,
     )
     return [
         (sla, ComparisonRow.from_summary(policy, res.summary))
@@ -222,6 +251,8 @@ def run_multi_app(
     seed: int = 3,
     workers: int = 1,
     seeding: str = "name",
+    init_failure_rate: float = 0.0,
+    faults: "FaultPlan | None" = None,
 ) -> dict[str, ComparisonRow] | dict[str, dict[str, ComparisonRow]]:
     """Co-run several environments on one shared cluster (§VII-A).
 
@@ -245,7 +276,11 @@ def run_multi_app(
                 for env in envs
             ]
             metrics = MultiAppSimulator(
-                deployments, seed=seed, seeding=seeding
+                deployments,
+                seed=seed,
+                seeding=seeding,
+                init_failure_rate=init_failure_rate,
+                faults=faults,
             ).run()
             results[name] = {
                 app: ComparisonRow.from_metrics(name, m)
@@ -254,7 +289,12 @@ def run_multi_app(
     else:
         cells = [
             MultiAppCellSpec(
-                envs=tuple(specs), policy=name, sim_seed=seed, seeding=seeding
+                envs=tuple(specs),
+                policy=name,
+                sim_seed=seed,
+                seeding=seeding,
+                init_failure_rate=init_failure_rate,
+                faults=faults,
             )
             for name in names
         ]

@@ -33,6 +33,7 @@ from pathlib import Path
 from typing import Any, Mapping, Sequence
 
 from repro.experiments.parallel import CellSpec, EnvSpec, MultiAppCellSpec
+from repro.faults.plan import FaultPlan
 
 __all__ = ["ScenarioSpec"]
 
@@ -66,6 +67,14 @@ class ScenarioSpec:
     #: stream written as JSONL into this directory (one file per cell).
     #: ``None`` (default) records nothing.
     trace_dir: str | None = None
+    #: Per-warmup initialization-failure probability injected into every
+    #: cell (0.0 — the default — injects nothing).
+    init_failure_rate: float = 0.0
+    #: Fault plan attached to every cell: machine outages, execution
+    #: faults, latency stragglers, init-failure bursts and the resilience
+    #: knobs absorbing them.  In JSON form this key accepts an inline
+    #: fault-plan object or a path string to a plan file.
+    faults: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if not self.apps:
@@ -95,6 +104,11 @@ class ScenarioSpec:
         for axis in ("apps", "policies", "slas", "presets", "seeds"):
             if axis in kwargs:
                 kwargs[axis] = _tuple(kwargs[axis])
+        faults = kwargs.get("faults")
+        if isinstance(faults, Mapping):
+            kwargs["faults"] = FaultPlan.from_dict(faults)
+        elif isinstance(faults, str):
+            kwargs["faults"] = FaultPlan.from_json(faults)
         return cls(**kwargs)
 
     @classmethod
@@ -110,6 +124,8 @@ class ScenarioSpec:
         policies: Sequence[str],
         slas: Sequence[float] | None = None,
         seeds: Sequence[int] = (3,),
+        init_failure_rate: float = 0.0,
+        faults: FaultPlan | None = None,
     ) -> "ScenarioSpec":
         """Scenario over one already-specified environment recipe.
 
@@ -126,6 +142,8 @@ class ScenarioSpec:
             duration=env.duration,
             train_duration=env.train_duration,
             env_seed=env.seed,
+            init_failure_rate=init_failure_rate,
+            faults=faults,
         )
 
     def to_dict(self) -> dict[str, Any]:
@@ -151,6 +169,8 @@ class ScenarioSpec:
                     sim_seed=seed,
                     seeding=self.seeding,
                     trace_dir=self.trace_dir,
+                    init_failure_rate=self.init_failure_rate,
+                    faults=self.faults,
                 )
                 for preset in self.presets
                 for sla in self.slas
@@ -163,6 +183,8 @@ class ScenarioSpec:
                 policy=policy,
                 sim_seed=seed,
                 trace_dir=self.trace_dir,
+                init_failure_rate=self.init_failure_rate,
+                faults=self.faults,
             )
             for preset in self.presets
             for app in self.apps

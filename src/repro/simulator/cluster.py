@@ -29,9 +29,13 @@ class Machine:
     gpu_slots_total: int = DEFAULT_GPU_SLOTS_PER_MACHINE
     cores_used: int = 0
     gpu_slots_used: int = 0
+    #: Crashed (fault-injection outage): refuses placements until restored.
+    failed: bool = False
 
     def can_fit(self, config: HardwareConfig) -> bool:
         """Whether this machine has room for an instance of ``config``."""
+        if self.failed:
+            return False
         if config.backend is Backend.CPU:
             return self.cores_used + config.cpu_cores <= self.cores_total
         return self.gpu_slots_used + config.mps_slots <= self.gpu_slots_total
@@ -102,6 +106,20 @@ class Cluster:
     def release(self, placement: Placement) -> None:
         """Free a previous placement."""
         self.machines[placement.machine].release(placement.config)
+
+    # -- fault injection -------------------------------------------------------
+    def fail_machine(self, index: int) -> None:
+        """Mark a machine crashed; it refuses placements until restored.
+
+        Resource accounting is untouched: the caller (the runtime's
+        outage machinery) evicts the machine's instances, and each
+        eviction releases its own allocation.
+        """
+        self.machines[index].failed = True
+
+    def restore_machine(self, index: int) -> None:
+        """Bring a crashed machine back; its capacity is allocatable again."""
+        self.machines[index].failed = False
 
     # -- capacity introspection ------------------------------------------------
     def cores_used(self) -> int:

@@ -59,6 +59,14 @@ class Instance:
     expiry_timer: "TimerHandle | None" = field(
         default=None, repr=False, compare=False
     )
+    # In-flight batch tracking, populated only while a FaultPlan is active:
+    # the invocations currently executing on this instance and the timer
+    # that will complete (or fail) them.  Cancellable, so a machine outage
+    # can kill the batch mid-flight and hand the items to the retry path.
+    inflight: "list | None" = field(default=None, repr=False, compare=False)
+    done_timer: "TimerHandle | None" = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         self.warm_at = self.launched_at + self.init_duration

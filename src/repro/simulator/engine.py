@@ -29,6 +29,7 @@ from repro.simulator.runtime import Runtime
 from repro.workload.trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only imports
+    from repro.faults.plan import FaultPlan
     from repro.policies.base import Policy
     from repro.telemetry.recorder import Recorder
 
@@ -53,12 +54,14 @@ class ServerlessSimulator:
         init_failure_rate: float = 0.0,
         gpu_contention: float = 0.0,
         recorder: "Recorder | None" = None,
+        faults: "FaultPlan | None" = None,
     ) -> None:
         self.runtime = Runtime(
             cluster=cluster,
             events=events,
             drain_timeout=drain_timeout,
             recorder=recorder,
+            faults=faults,
         )
         self.gateway = self.runtime.add_app(
             app,

@@ -66,10 +66,13 @@ from repro.telemetry.events import (
     Arrival,
     ColdStart,
     DirectiveChanged,
+    ExecutionFailed,
+    FallbackActivated,
     InstanceExpired,
     InstanceInitFailed,
     InstanceLaunched,
     InvocationFinished,
+    InvocationTimedOut,
     PrewarmHit,
     PrewarmMiss,
     PrewarmScheduled,
@@ -78,6 +81,7 @@ from repro.telemetry.events import (
     SlaViolation,
     StageFinish,
     StageReady,
+    StageRetried,
     StageStart,
     WindowTick,
 )
@@ -85,8 +89,19 @@ from repro.utils.rng import ensure_rng
 from repro.workload.trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only imports
+    from repro.faults.plan import FaultPlan, ResilienceSpec
     from repro.policies.base import Policy
+    from repro.simulator.events import TimerHandle
     from repro.simulator.runtime import Runtime
+
+#: Termination reasons that mean a pre-warmed instance genuinely expired
+#: unused — the only ones that should count as a :class:`PrewarmMiss`.
+#: Run shutdown, init failures and fault-injected kills (machine outages,
+#: mid-flight execution failures) say nothing about the policy's warm-up
+#: prediction being wrong.
+_GENUINE_EXPIRY = frozenset(
+    {"keep-alive-expired", "keep-alive-sweep", "scale-in", "stale-config"}
+)
 
 
 class SimulationContext:
@@ -209,6 +224,21 @@ class Gateway:
         self.gpu_contention = float(gpu_contention)
         root = ensure_rng(seed)
         self._fault_rng = np.random.default_rng(int(root.integers(2**32)))
+        # Fault-injection plane (None in the default, fault-free regime;
+        # every hook below is a single attribute check when inactive).
+        faults = runtime.faults
+        self._faults: "FaultPlan | None" = faults
+        self._resilience: "ResilienceSpec | None" = (
+            faults.resilience if faults is not None else None
+        )
+        self._fallback_config: HardwareConfig | None = (
+            HardwareConfig.from_key(self._resilience.fallback_config)
+            if self._resilience is not None
+            else None
+        )
+        self._crash_loops: dict[str, int] = {}
+        self._gpu_starved: dict[str, int] = {}
+        self._deadline_timers: dict[int, "TimerHandle"] = {}
         self.oracles: dict[str, GroundTruthPerformance] = {
             spec.name: GroundTruthPerformance(
                 spec.profile, rng=int(root.integers(2**32)), noisy=noisy
@@ -324,6 +354,9 @@ class Gateway:
             self.metrics.invocations.append(inv)
             self._open_invocations += 1
             self._current_window_count += 1
+            res = self._resilience
+            if res is not None and res.deadline_factor is not None:
+                self._arm_deadline(inv)
             if self._rec is not None:
                 self._rec.emit(
                     Arrival(
@@ -392,6 +425,19 @@ class Gateway:
             others = machine.gpu_slots_used - inst.config.mps_slots
             share = max(0, others) / machine.gpu_slots_total
             exec_time *= 1.0 + self.gpu_contention * share
+        fail_at: float | None = None
+        if self._faults is not None:
+            factor = self._faults.straggler_factor(
+                inst.function, inst.config.backend.value, now
+            )
+            if factor != 1.0:
+                exec_time *= factor
+            rate = self._faults.execution_fault_rate(inst.function, now)
+            if rate > 0.0 and self._fault_rng.random() < rate:
+                # The batch dies part-way through execution; the fraction
+                # completed before the crash is uniform, so the instance is
+                # billed for real (wasted) work before the retry path runs.
+                fail_at = exec_time * float(self._fault_rng.random())
         inst.mark_busy(now, batch_n)
         self.pools[inst.function].transition(inst, InstanceState.IDLE)
         if inst.expiry_timer is not None:
@@ -443,18 +489,38 @@ class Gateway:
                             wait=now - (rec.ready_at or 0.0),
                         )
                     )
-        self.events.schedule_in(
-            exec_time, lambda: self._stage_done(inst, items, exec_time)
-        )
+        if self._faults is None:
+            self.events.schedule_in(
+                exec_time, lambda: self._stage_done(inst, items, exec_time)
+            )
+        elif fail_at is not None:
+            inst.inflight = items
+            inst.done_timer = self.events.schedule_in(
+                fail_at, lambda: self._execution_failed(inst, items)
+            )
+        else:
+            # Track the batch so a machine outage can cancel it mid-flight
+            # and hand the items to the retry path.
+            inst.inflight = items
+            inst.done_timer = self.events.schedule_in(
+                exec_time, lambda: self._stage_done(inst, items, exec_time)
+            )
 
     def _stage_done(
         self, inst: Instance, items: list[Invocation], exec_time: float
     ) -> None:
         now = self.events.now
+        if self._faults is not None:
+            inst.inflight = None
+            inst.done_timer = None
         inst.mark_idle(now, exec_time)
         fn = inst.function
         self.pools[fn].transition(inst, InstanceState.BUSY)
         for inv in items:
+            if inv.abandoned_at is not None:
+                # Abandoned mid-flight (deadline fired while executing):
+                # the work completes but no longer counts for anything.
+                continue
             inv.stage(fn).finished_at = now
             inv.remaining -= 1  # type: ignore[attr-defined]
             if self._rec is not None:
@@ -477,6 +543,10 @@ class Gateway:
             if inv.remaining == 0:  # type: ignore[attr-defined]
                 inv.completed_at = now
                 self._open_invocations -= 1
+                if self._deadline_timers:
+                    handle = self._deadline_timers.pop(inv.invocation_id, None)
+                    if handle is not None:
+                        handle.cancel()
                 if self._rec is not None:
                     latency = now - inv.arrival
                     self._rec.emit(
@@ -502,14 +572,212 @@ class Gateway:
         if inst.state is InstanceState.IDLE:
             self._arm_expiry(inst)
 
+    # ------------------------------------------------------------- resilience
+    def evict_machine(self, index: int) -> None:
+        """Terminate every live instance on a crashed machine.
+
+        Called by the runtime's outage machinery when a machine goes down.
+        In-flight batches are cancelled and requeued through the retry
+        path; afterwards dispatch runs so surviving capacity absorbs the
+        displaced work.
+        """
+        for fn, pool in self.pools.items():
+            doomed = [
+                inst
+                for inst in pool
+                if inst.is_live and inst.placement.machine == index
+            ]
+            for inst in doomed:
+                items = inst.inflight
+                if inst.done_timer is not None:
+                    inst.done_timer.cancel()
+                    inst.done_timer = None
+                inst.inflight = None
+                self._terminate(inst, reason="machine-failed")
+                if items:
+                    self._requeue(fn, items)
+        for fn in self.app.function_names:
+            if self.queues[fn]:
+                self._dispatch(fn)
+
+    def retry_pending_launches(self) -> None:
+        """Re-attempt queued launches (capacity may have been restored)."""
+        self._retry_pending_launches()
+
+    def _execution_failed(
+        self, inst: Instance, items: list[Invocation]
+    ) -> None:
+        """An injected fault killed the batch mid-flight."""
+        inst.inflight = None
+        inst.done_timer = None
+        fn = inst.function
+        self.metrics.failed_executions += 1
+        if self._rec is not None:
+            self._rec.emit(
+                ExecutionFailed(
+                    t=self.events.now,
+                    app=self.app.name,
+                    function=fn,
+                    instance_id=inst.instance_id,
+                    batch=len(items),
+                )
+            )
+        self._terminate(inst, reason="execution-failed")
+        self._requeue(fn, items)
+
+    def _requeue(self, fn: str, items: list[Invocation]) -> None:
+        """Send a failed batch's invocations back through the retry path.
+
+        Each item's stage record is reset to unstarted and its demand
+        charge restored, then the stage is re-readied after an exponential
+        backoff — unless the invocation's retry budget is exhausted, in
+        which case it is abandoned.
+        """
+        res = self._resilience
+        for inv in items:
+            if inv.abandoned_at is not None or inv.finished:
+                continue
+            rec = inv.stage(fn)
+            rec.started_at = None
+            rec.instance_id = None
+            rec.batch = 0
+            rec.cold_start = False
+            self.pending_stage_demand[fn] += 1
+            inv.retries += 1
+            if res is not None and inv.retries > res.max_retries:
+                self._abandon(inv, reason="retries-exhausted")
+                continue
+            delay = 0.0
+            if res is not None and res.retry_backoff > 0.0:
+                delay = res.retry_backoff * 2.0 ** (inv.retries - 1)
+            self.metrics.stage_retries += 1
+            if self._rec is not None:
+                self._rec.emit(
+                    StageRetried(
+                        t=self.events.now,
+                        app=self.app.name,
+                        invocation_id=inv.invocation_id,
+                        function=fn,
+                        attempt=inv.retries,
+                        delay=delay,
+                    )
+                )
+            self.events.schedule_in(delay, self._make_retry(inv, fn))
+
+    def _make_retry(self, inv: Invocation, fn: str):
+        def fire() -> None:
+            if inv.abandoned_at is not None or self._shutting_down:
+                return
+            self._stage_ready(inv, fn)
+
+        return fire
+
+    def _arm_deadline(self, inv: Invocation) -> None:
+        res = self._resilience
+        assert res is not None and res.deadline_factor is not None
+
+        def fire() -> None:
+            self._deadline_timers.pop(inv.invocation_id, None)
+            if inv.finished or inv.abandoned_at is not None:
+                return
+            self._abandon(inv, reason="deadline")
+
+        self._deadline_timers[inv.invocation_id] = self.events.schedule_in(
+            res.deadline_factor * self.app.sla, fire
+        )
+
+    def _abandon(self, inv: Invocation, *, reason: str) -> None:
+        """Give up on an invocation: deadline passed or retries exhausted.
+
+        Unstarted stages release their demand charges and leave the
+        queues; a stage currently executing is left to finish (its result
+        is discarded in :meth:`_stage_done`).  The invocation counts as
+        ``timed_out`` — disjoint from both completed and ``unfinished``.
+        """
+        if inv.finished or inv.abandoned_at is not None:
+            return
+        now = self.events.now
+        inv.abandoned_at = now
+        handle = self._deadline_timers.pop(inv.invocation_id, None)
+        if handle is not None:
+            handle.cancel()
+        for fn in self.app.function_names:
+            rec = inv.stages.get(fn)
+            started = rec is not None and rec.started_at is not None
+            if not started:
+                self.pending_stage_demand[fn] -= 1
+                if (
+                    rec is not None
+                    and rec.ready_at is not None
+                    and rec.finished_at is None
+                ):
+                    try:
+                        self.queues[fn].remove(inv)
+                    except ValueError:
+                        pass  # ready but not queued (retry backoff pending)
+        self._open_invocations -= 1
+        self.metrics.timed_out += 1
+        if self._rec is not None:
+            self._rec.emit(
+                InvocationTimedOut(
+                    t=now,
+                    app=self.app.name,
+                    invocation_id=inv.invocation_id,
+                    reason=reason,
+                    age=now - inv.arrival,
+                )
+            )
+
+    def _activate_fallback(
+        self,
+        fn: str,
+        from_config: HardwareConfig,
+        to_config: HardwareConfig,
+        *,
+        reason: str,
+    ) -> None:
+        """Record one graceful-degradation step (crash loop / starvation)."""
+        self.metrics.fallbacks += 1
+        if self._rec is not None:
+            self._rec.emit(
+                FallbackActivated(
+                    t=self.events.now,
+                    app=self.app.name,
+                    function=fn,
+                    from_config=from_config.key,
+                    to_config=to_config.key,
+                    reason=reason,
+                )
+            )
+
     # ------------------------------------------------------------- lifecycle
     def _launch(
         self, fn: str, config: HardwareConfig, *, prewarm: bool = False
     ) -> Instance | None:
         placement = self.cluster.try_allocate(config)
         if placement is None:
+            res = self._resilience
+            if (
+                res is not None
+                and res.fallback_after is not None
+                and config.backend is Backend.GPU
+            ):
+                # GPU starvation: after `fallback_after` consecutive failed
+                # GPU placements for this function, degrade to the CPU
+                # fallback configuration rather than queueing forever.
+                starved = self._gpu_starved.get(fn, 0) + 1
+                self._gpu_starved[fn] = starved
+                fallback = self._fallback_config
+                if starved >= res.fallback_after and fallback != config:
+                    self._gpu_starved[fn] = 0
+                    self._activate_fallback(
+                        fn, config, fallback, reason="gpu-starvation"
+                    )
+                    return self._launch(fn, fallback, prewarm=prewarm)
             self.pending_launches[fn].append(config)
             return None
+        if self._gpu_starved and config.backend is Backend.GPU:
+            self._gpu_starved.pop(fn, None)
         init = self.oracles[fn].init_time(config)
         inst = Instance(
             function=fn,
@@ -517,6 +785,7 @@ class Gateway:
             placement=placement,
             launched_at=self.events.now,
             init_duration=init,
+            instance_id=self.runtime.next_instance_id(),
             prewarmed=prewarm,
         )
         self.pools[fn].add(inst)
@@ -539,10 +808,12 @@ class Gateway:
     def _warmup_done(self, inst: Instance) -> None:
         if not inst.is_live:
             return
-        if (
-            self.init_failure_rate > 0.0
-            and self._fault_rng.random() < self.init_failure_rate
-        ):
+        rate = self.init_failure_rate
+        if self._faults is not None:
+            extra = self._faults.extra_init_failure_rate(self.events.now)
+            if extra > 0.0:
+                rate = min(rate + extra, 0.999999)
+        if rate > 0.0 and self._fault_rng.random() < rate:
             # Initialization failed (image pull error, OOM during model
             # load, ...): the container is torn down — billed for the failed
             # attempt — and replaced, as a real platform's crash-loop would.
@@ -559,13 +830,45 @@ class Gateway:
                 )
             self._terminate(inst, reason="init-failed")
             if not self._shutting_down:
-                self._launch(fn, cfg)
+                self._relaunch_after_init_failure(fn, cfg)
             return
+        if self._crash_loops:
+            self._crash_loops.pop(inst.function, None)
         inst.mark_warm(self.events.now)
         self.pools[inst.function].transition(inst, InstanceState.INITIALIZING)
         self._dispatch(inst.function)
         if inst.state is InstanceState.IDLE:
             self._arm_expiry(inst)
+
+    def _relaunch_after_init_failure(
+        self, fn: str, config: HardwareConfig
+    ) -> None:
+        """Replace a failed initialization, subject to the crash-loop cap.
+
+        Without a fault plan this relaunches unconditionally (the legacy
+        behaviour).  With resilience active, `max_crash_loop` consecutive
+        failures stop the loop: if a fallback configuration applies, the
+        function degrades to it; otherwise relaunching stops and
+        demand-driven dispatch or min-warm enforcement tries again later.
+        """
+        res = self._resilience
+        if res is None:
+            self._launch(fn, config)
+            return
+        count = self._crash_loops.get(fn, 0) + 1
+        self._crash_loops[fn] = count
+        if count < res.max_crash_loop:
+            self._launch(fn, config)
+            return
+        fallback = self._fallback_config
+        if (
+            res.fallback_after is not None
+            and fallback is not None
+            and config != fallback
+        ):
+            self._crash_loops[fn] = 0
+            self._activate_fallback(fn, config, fallback, reason="crash-loop")
+            self._launch(fn, fallback)
 
     def _arm_expiry(self, inst: Instance) -> None:
         directive = self.directives[inst.function]
@@ -600,7 +903,7 @@ class Gateway:
             if (
                 inst.prewarmed
                 and inst.batches_served == 0
-                and reason != "init-failed"
+                and reason in _GENUINE_EXPIRY
             ):
                 self._rec.emit(
                     PrewarmMiss(

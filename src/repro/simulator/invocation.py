@@ -56,6 +56,12 @@ class Invocation:
     invocation_id: int = field(default_factory=lambda: next(_invocation_ids))
     stages: dict[str, StageRecord] = field(default_factory=dict)
     completed_at: float | None = None
+    #: Stage re-executions consumed so far (a per-invocation retry budget
+    #: shared across stages; see ``repro.faults.ResilienceSpec``).
+    retries: int = 0
+    #: Set when the gateway abandoned the invocation (deadline passed or
+    #: retry budget exhausted); it then counts as ``timed_out``.
+    abandoned_at: float | None = None
 
     def stage(self, function: str) -> StageRecord:
         """Record for ``function``, created on first access."""

@@ -66,6 +66,16 @@ class RunMetrics:
     cold_stage_executions: int = 0
     initializations: int = 0
     failed_initializations: int = 0
+    #: Invocations abandoned by the resilience machinery (deadline passed
+    #: or retry budget exhausted); disjoint from ``unfinished``.
+    timed_out: int = 0
+    #: Stage executions requeued after a fault (machine outage or
+    #: mid-flight execution failure).
+    stage_retries: int = 0
+    #: Batches that failed mid-flight (injected execution faults).
+    failed_executions: int = 0
+    #: Graceful-degradation activations (GPU starvation / crash-loop cap).
+    fallbacks: int = 0
     pod_samples: list[tuple[float, int, int]] = field(default_factory=list)
     arrival_samples: list[tuple[float, int]] = field(default_factory=list)
 
@@ -97,13 +107,41 @@ class RunMetrics:
         return np.array([inv.latency for inv in self.invocations if inv.finished])
 
     def violation_ratio(self) -> float:
-        """Fraction of requests exceeding the SLA (unfinished count too)."""
-        total = len(self.invocations) + self.unfinished
+        """Fraction of requests exceeding the SLA (unfinished and
+        timed-out invocations count as violations too)."""
+        total = len(self.invocations) + self.unfinished + self.timed_out
         if total == 0:
             return 0.0
         lat = self.latencies()
-        violations = int((lat > self.sla + 1e-9).sum()) + self.unfinished
+        violations = (
+            int((lat > self.sla + 1e-9).sum()) + self.unfinished + self.timed_out
+        )
         return violations / total
+
+    def availability(self) -> float:
+        """Fraction of arrivals that completed at all (1.0 on empty runs).
+
+        Under fault injection, invocations lost to deadlines or exhausted
+        retry budgets (``timed_out``) and those still open at the horizon
+        (``unfinished``) both count against availability.
+        """
+        total = len(self.invocations) + self.unfinished + self.timed_out
+        if total == 0:
+            return 1.0
+        return len(self.invocations) / total
+
+    def goodput(self) -> float:
+        """Fraction of arrivals served *within* the SLA (1.0 on empty runs).
+
+        The complement of :meth:`violation_ratio`: completed-on-time
+        divided by every arrival, including timed-out and unfinished ones.
+        """
+        total = len(self.invocations) + self.unfinished + self.timed_out
+        if total == 0:
+            return 1.0
+        lat = self.latencies()
+        within = int((lat <= self.sla + 1e-9).sum())
+        return within / total
 
     def latency_percentile(self, q: float) -> float:
         """Latency percentile ``q`` in [0, 100].
@@ -152,4 +190,6 @@ class RunMetrics:
             "reinit_fraction": self.reinit_fraction(),
             "cpu_cost": self.backend_cost(Backend.CPU),
             "gpu_cost": self.backend_cost(Backend.GPU),
+            "availability": self.availability(),
+            "goodput": self.goodput(),
         }

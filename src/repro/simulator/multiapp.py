@@ -33,6 +33,7 @@ from repro.simulator.runtime import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.faults.plan import FaultPlan
     from repro.telemetry.recorder import Recorder
 
 __all__ = ["Deployment", "MultiAppSimulator"]
@@ -52,6 +53,8 @@ class MultiAppSimulator:
         noisy: bool = True,
         seeding: str = "name",
         recorder: "Recorder | None" = None,
+        init_failure_rate: float = 0.0,
+        faults: "FaultPlan | None" = None,
     ) -> None:
         if not deployments:
             raise ValueError("need at least one deployment")
@@ -64,7 +67,10 @@ class MultiAppSimulator:
                 f"expected one of {SEEDING_MODES}"
             )
         self.runtime = Runtime(
-            cluster=cluster, drain_timeout=drain_timeout, recorder=recorder
+            cluster=cluster,
+            drain_timeout=drain_timeout,
+            recorder=recorder,
+            faults=faults,
         )
         self.gateways = [
             self.runtime.add_app(
@@ -78,6 +84,7 @@ class MultiAppSimulator:
                     else derive_app_seed(seed, d.app.name)
                 ),
                 noisy=noisy,
+                init_failure_rate=init_failure_rate,
             )
             for i, d in enumerate(deployments)
         ]

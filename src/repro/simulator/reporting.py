@@ -81,8 +81,10 @@ def format_report(metrics: RunMetrics) -> str:
         f"run report — app={metrics.app} policy={metrics.policy} "
         f"sla={metrics.sla}s duration={metrics.duration:.0f}s\n"
         f"invocations: {len(metrics.invocations)} completed, "
-        f"{metrics.unfinished} unfinished, "
-        f"violations {metrics.violation_ratio():.1%}\n"
+        f"{metrics.unfinished} unfinished, {metrics.timed_out} timed out\n"
+        f"violations {metrics.violation_ratio():.1%}, "
+        f"availability {metrics.availability():.1%}, "
+        f"goodput {metrics.goodput():.1%}\n"
         f"latency: mean {lat.mean():.2f}s p50 {np.percentile(lat, 50):.2f}s "
         f"p99 {np.percentile(lat, 99):.2f}s"
         if lat.size
@@ -97,12 +99,17 @@ def format_report(metrics: RunMetrics) -> str:
             else ")"
         )
     )
-    return "\n\n".join(
-        [
-            header,
-            format_cost_breakdown(metrics),
-            format_function_table(metrics),
-            format_latency_histogram(metrics),
-            reinits,
-        ]
-    )
+    sections = [
+        header,
+        format_cost_breakdown(metrics),
+        format_function_table(metrics),
+        format_latency_histogram(metrics),
+        reinits,
+    ]
+    if metrics.stage_retries or metrics.failed_executions or metrics.fallbacks:
+        sections.append(
+            f"faults absorbed: {metrics.stage_retries} stage retries, "
+            f"{metrics.failed_executions} failed executions, "
+            f"{metrics.fallbacks} fallbacks"
+        )
+    return "\n\n".join(sections)

@@ -36,10 +36,12 @@ from repro.simulator.cluster import Cluster
 from repro.simulator.events import EventQueue
 from repro.simulator.gateway import Gateway
 from repro.simulator.metrics import RunMetrics
+from repro.telemetry.events import CLUSTER_SCOPE, MachineDown, MachineUp
 from repro.telemetry.recorder import NullRecorder
 from repro.workload.trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.faults.plan import FaultPlan
     from repro.policies.base import Policy
     from repro.telemetry.recorder import Recorder
 
@@ -82,6 +84,7 @@ class Runtime:
         events: EventQueue | None = None,
         drain_timeout: float = 300.0,
         recorder: "Recorder | None" = None,
+        faults: "FaultPlan | None" = None,
     ) -> None:
         if drain_timeout < 0:
             raise ValueError(f"drain_timeout must be >= 0, got {drain_timeout}")
@@ -91,15 +94,24 @@ class Runtime:
         self.recorder: "Recorder" = (
             recorder if recorder is not None else NullRecorder()
         )
+        self.faults = faults
         self.gateways: list[Gateway] = []
         # Run-scoped invocation ids: every runtime numbers its invocations
         # from 0, so traces are stable whether a process ran one simulation
         # or a whole grid before this one.
         self._invocation_ids = itertools.count()
+        # Instance ids are run-scoped for the same reason: a grid worker
+        # that ran three simulations must trace the same ids as a fresh
+        # process running only this one.
+        self._instance_ids = itertools.count()
 
     def next_invocation_id(self) -> int:
         """Next invocation id on this runtime's own counter."""
         return next(self._invocation_ids)
+
+    def next_instance_id(self) -> int:
+        """Next instance id on this runtime's own counter."""
+        return next(self._instance_ids)
 
     @property
     def now(self) -> float:
@@ -141,8 +153,61 @@ class Runtime:
     # ------------------------------------------------------------------ run
     def setup(self) -> None:
         """Start every gateway's arrival / window-tick streams."""
+        self._schedule_outages()
         for gateway in self.gateways:
             gateway.setup()
+
+    # -- fault injection: machine outages -----------------------------------
+    def _schedule_outages(self) -> None:
+        """Schedule every machine outage window from the fault plan.
+
+        Down events evict the machine's instances through each gateway
+        (requeueing in-flight batches onto the retry path); finite up
+        events make the capacity allocatable again and kick queued
+        launches.
+        """
+        if self.faults is None or not self.faults.outages:
+            return
+        n = len(self.cluster.machines)
+        for outage in self.faults.outages:
+            if outage.machine >= n:
+                raise ValueError(
+                    f"outage targets machine {outage.machine} but the "
+                    f"cluster has only {n} machines"
+                )
+            self.events.schedule(
+                outage.start, lambda m=outage.machine: self._machine_down(m)
+            )
+            if outage.end != float("inf"):
+                self.events.schedule(
+                    outage.end, lambda m=outage.machine: self._machine_up(m)
+                )
+
+    def _machine_down(self, index: int) -> None:
+        """Crash a machine: refuse placements, evict its instances."""
+        machine = self.cluster.machines[index]
+        if machine.failed:  # overlapping outage windows
+            return
+        self.cluster.fail_machine(index)
+        if self.recorder.enabled:
+            self.recorder.emit(
+                MachineDown(t=self.events.now, app=CLUSTER_SCOPE, machine=index)
+            )
+        for gateway in self.gateways:
+            gateway.evict_machine(index)
+
+    def _machine_up(self, index: int) -> None:
+        """Restore a crashed machine and retry queued launches."""
+        machine = self.cluster.machines[index]
+        if not machine.failed:
+            return
+        self.cluster.restore_machine(index)
+        if self.recorder.enabled:
+            self.recorder.emit(
+                MachineUp(t=self.events.now, app=CLUSTER_SCOPE, machine=index)
+            )
+        for gateway in self.gateways:
+            gateway.retry_pending_launches()
 
     @property
     def open_invocations(self) -> int:

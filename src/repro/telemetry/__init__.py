@@ -22,6 +22,7 @@ See ``docs/observability.md`` for the event taxonomy and trace formats.
 from repro.telemetry.aggregate import aggregate, aggregate_all
 from repro.telemetry.audit import (
     decision_audit,
+    fault_audit,
     format_decision_audit,
     prewarm_audit,
 )
@@ -60,5 +61,6 @@ __all__ = [
     "write_chrome_trace",
     "decision_audit",
     "prewarm_audit",
+    "fault_audit",
     "format_decision_audit",
 ]

@@ -23,7 +23,18 @@ Event-to-counter mapping:
 ``instance_expired``  one ``InstanceUsage`` billing row
 ``window_tick``       ``arrival_samples`` and ``pod_samples``
 ``run_finished``      ``duration`` and the ``unfinished`` count
+``execution_failed``  ``failed_executions``
+``stage_retried``     ``stage_retries`` (and ``Invocation.retries``)
+``invocation_timed_out``  ``timed_out``
+``fallback_activated``  ``fallbacks``
 ====================  ====================================================
+
+Cluster-scoped events (``machine_down`` / ``machine_up``, whose ``app``
+is :data:`~repro.telemetry.events.CLUSTER_SCOPE`) belong to no tenant:
+they are excluded from single-app inference and from
+:func:`aggregate_all`'s per-app fan-out; their per-app consequences are
+already carried by ``instance_expired`` events with the
+``machine-failed`` reason.
 """
 
 from __future__ import annotations
@@ -34,16 +45,21 @@ from repro.hardware.configs import HardwareConfig
 from repro.simulator.invocation import Invocation
 from repro.simulator.metrics import InstanceUsage, RunMetrics
 from repro.telemetry.events import (
+    CLUSTER_SCOPE,
     Arrival,
+    ExecutionFailed,
+    FallbackActivated,
     InstanceExpired,
     InstanceInitFailed,
     InstanceLaunched,
     InvocationFinished,
+    InvocationTimedOut,
     RunFinished,
     RunStarted,
     SimEvent,
     StageFinish,
     StageReady,
+    StageRetried,
     StageStart,
     WindowTick,
 )
@@ -61,7 +77,9 @@ def aggregate(events: Iterable[SimEvent], app: str | None = None) -> RunMetrics:
     """
     events = list(events)
     if app is None:
-        apps = tuple(dict.fromkeys(e.app for e in events))
+        apps = tuple(
+            dict.fromkeys(e.app for e in events if e.app != CLUSTER_SCOPE)
+        )
         if len(apps) != 1:
             raise ValueError(
                 f"trace holds {len(apps)} applications {list(apps)}; "
@@ -107,6 +125,16 @@ def aggregate(events: Iterable[SimEvent], app: str | None = None) -> RunMetrics:
             metrics.initializations += 1
         elif isinstance(event, InstanceInitFailed):
             metrics.failed_initializations += 1
+        elif isinstance(event, ExecutionFailed):
+            metrics.failed_executions += 1
+        elif isinstance(event, StageRetried):
+            metrics.stage_retries += 1
+            invocations[event.invocation_id].retries = event.attempt
+        elif isinstance(event, InvocationTimedOut):
+            metrics.timed_out += 1
+            invocations[event.invocation_id].abandoned_at = event.t
+        elif isinstance(event, FallbackActivated):
+            metrics.fallbacks += 1
         elif isinstance(event, InstanceExpired):
             metrics.instances.append(
                 InstanceUsage(
@@ -139,5 +167,7 @@ def aggregate(events: Iterable[SimEvent], app: str | None = None) -> RunMetrics:
 def aggregate_all(events: Iterable[SimEvent]) -> dict[str, RunMetrics]:
     """Reconstruct every application's metrics from a multi-tenant trace."""
     events = list(events)
-    apps = tuple(dict.fromkeys(e.app for e in events))
+    apps = tuple(
+        dict.fromkeys(e.app for e in events if e.app != CLUSTER_SCOPE)
+    )
     return {app: aggregate(events, app) for app in apps}

@@ -17,15 +17,37 @@ from typing import Iterable
 
 from repro.telemetry.events import (
     DirectiveChanged,
+    ExecutionFailed,
+    FallbackActivated,
+    InstanceInitFailed,
+    InvocationTimedOut,
+    MachineDown,
+    MachineUp,
     PrewarmHit,
     PrewarmMiss,
     PrewarmScheduled,
     SimEvent,
+    StageRetried,
 )
 
-__all__ = ["decision_audit", "prewarm_audit", "format_decision_audit"]
+__all__ = [
+    "decision_audit",
+    "prewarm_audit",
+    "fault_audit",
+    "format_decision_audit",
+]
 
 _PREWARM_EVENTS = (PrewarmScheduled, PrewarmHit, PrewarmMiss)
+
+_FAULT_EVENTS = (
+    MachineDown,
+    MachineUp,
+    InstanceInitFailed,
+    ExecutionFailed,
+    StageRetried,
+    InvocationTimedOut,
+    FallbackActivated,
+)
 
 
 def decision_audit(events: Iterable[SimEvent]) -> list[DirectiveChanged]:
@@ -36,6 +58,16 @@ def decision_audit(events: Iterable[SimEvent]) -> list[DirectiveChanged]:
 def prewarm_audit(events: Iterable[SimEvent]) -> list[SimEvent]:
     """The pre-warm lifecycle — scheduled / hit / miss — in trace order."""
     return [e for e in events if isinstance(e, _PREWARM_EVENTS)]
+
+
+def fault_audit(events: Iterable[SimEvent]) -> list[SimEvent]:
+    """The fault-and-recovery story of a run, in trace order.
+
+    Machine outages, failed initializations and executions, retries,
+    abandoned invocations and graceful-degradation fallbacks — everything
+    the resilience machinery did, as one filtered view.
+    """
+    return [e for e in events if isinstance(e, _FAULT_EVENTS)]
 
 
 def _fmt_keep_alive(value: float) -> str:

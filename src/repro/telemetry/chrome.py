@@ -26,14 +26,21 @@ from pathlib import Path
 from typing import Any, Iterable
 
 from repro.telemetry.events import (
+    CLUSTER_SCOPE,
     Arrival,
     DirectiveChanged,
+    ExecutionFailed,
+    FallbackActivated,
     InstanceExpired,
     InstanceLaunched,
+    InvocationTimedOut,
+    MachineDown,
+    MachineUp,
     PrewarmScheduled,
     SimEvent,
     SlaViolation,
     StageFinish,
+    StageRetried,
     StageStart,
     WindowTick,
 )
@@ -64,7 +71,9 @@ def to_chrome_trace(events: Iterable[SimEvent]) -> dict[str, Any]:
                 "name": "process_name",
                 "pid": pid,
                 "tid": 0,
-                "args": {"name": app},
+                # Cluster-scoped events (machine outages) render as their
+                # own "cluster" process rather than the internal scope tag.
+                "args": {"name": "cluster" if app == CLUSTER_SCOPE else app},
             }
         )
         for tid, name in ((_TID_REQUESTS, "requests"), (_TID_POLICY, "policy")):
@@ -221,6 +230,77 @@ def to_chrome_trace(events: Iterable[SimEvent]) -> dict[str, Any]:
                         "count": event.count,
                         "config": event.config,
                     },
+                }
+            )
+        elif isinstance(event, (MachineDown, MachineUp)):
+            down = isinstance(event, MachineDown)
+            out.append(
+                {
+                    "ph": "i",
+                    "name": (
+                        f"machine {event.machine} "
+                        f"{'down' if down else 'up'}"
+                    ),
+                    "cat": "cluster",
+                    "s": "g",  # global scope: the outage hits every tenant
+                    "pid": pid,
+                    "tid": 0,
+                    "ts": _us(event.t),
+                }
+            )
+        elif isinstance(event, ExecutionFailed):
+            out.append(
+                {
+                    "ph": "i",
+                    "name": f"execution failed ({event.function})",
+                    "cat": "fault",
+                    "s": "t",
+                    "pid": pid,
+                    "tid": _TID_BASE + event.instance_id,
+                    "ts": _us(event.t),
+                    "args": {"batch": event.batch},
+                }
+            )
+        elif isinstance(event, StageRetried):
+            out.append(
+                {
+                    "ph": "i",
+                    "name": f"retry #{event.invocation_id} {event.function}",
+                    "cat": "fault",
+                    "s": "t",
+                    "pid": pid,
+                    "tid": _TID_REQUESTS,
+                    "ts": _us(event.t),
+                    "args": {"attempt": event.attempt, "delay": event.delay},
+                }
+            )
+        elif isinstance(event, InvocationTimedOut):
+            out.append(
+                {
+                    "ph": "i",
+                    "name": f"timed out #{event.invocation_id}",
+                    "cat": "fault",
+                    "s": "t",
+                    "pid": pid,
+                    "tid": _TID_REQUESTS,
+                    "ts": _us(event.t),
+                    "args": {"reason": event.reason, "age": event.age},
+                }
+            )
+        elif isinstance(event, FallbackActivated):
+            out.append(
+                {
+                    "ph": "i",
+                    "name": (
+                        f"fallback {event.function} "
+                        f"{event.from_config} -> {event.to_config}"
+                    ),
+                    "cat": "policy",
+                    "s": "t",
+                    "pid": pid,
+                    "tid": _TID_POLICY,
+                    "ts": _us(event.t),
+                    "args": {"reason": event.reason},
                 }
             )
         elif isinstance(event, WindowTick):

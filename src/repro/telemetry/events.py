@@ -45,12 +45,23 @@ __all__ = [
     "PrewarmHit",
     "PrewarmMiss",
     "WindowTick",
+    "MachineDown",
+    "MachineUp",
+    "ExecutionFailed",
+    "StageRetried",
+    "InvocationTimedOut",
+    "FallbackActivated",
+    "CLUSTER_SCOPE",
     "EVENT_TYPES",
     "EVENT_SCHEMA",
     "to_dict",
     "from_dict",
     "validate_event",
 ]
+
+#: ``app`` value of cluster-scoped events (machine outages affect every
+#: tenant at once, so they belong to no single application's stream).
+CLUSTER_SCOPE = "__cluster__"
 
 #: ``type`` tag -> event class, populated by ``SimEvent.__init_subclass__``.
 EVENT_TYPES: dict[str, type["SimEvent"]] = {}
@@ -272,6 +283,86 @@ class PrewarmMiss(SimEvent):
     function: str
     instance_id: int
     idle_seconds: float
+
+
+# -------------------------------------------------------------------- faults
+@dataclass(frozen=True)
+class MachineDown(SimEvent):
+    """A cluster machine crashed: capacity removed, live instances evicted.
+
+    Cluster-scoped (``app`` is :data:`CLUSTER_SCOPE`): the outage hits
+    every tenant; per-app consequences surface as ``instance_expired``
+    events with the ``machine-failed`` reason.
+    """
+
+    type: ClassVar[str] = "machine_down"
+
+    machine: int
+
+
+@dataclass(frozen=True)
+class MachineUp(SimEvent):
+    """A crashed machine recovered; its capacity is allocatable again.
+
+    Cluster-scoped (``app`` is :data:`CLUSTER_SCOPE`).
+    """
+
+    type: ClassVar[str] = "machine_up"
+
+    machine: int
+
+
+@dataclass(frozen=True)
+class ExecutionFailed(SimEvent):
+    """A running batch failed mid-flight; the instance crashed and its
+    stages were handed to the retry machinery."""
+
+    type: ClassVar[str] = "execution_failed"
+
+    function: str
+    instance_id: int
+    batch: int
+
+
+@dataclass(frozen=True)
+class StageRetried(SimEvent):
+    """One stage of one invocation was requeued after a fault.
+
+    ``attempt`` is the invocation's retry count so far (1 = first retry);
+    ``delay`` the exponential-backoff wait before it re-enters the queue.
+    """
+
+    type: ClassVar[str] = "stage_retried"
+
+    invocation_id: int
+    function: str
+    attempt: int
+    delay: float
+
+
+@dataclass(frozen=True)
+class InvocationTimedOut(SimEvent):
+    """An invocation was abandoned — deadline passed or retry budget
+    exhausted — and counted ``timed_out`` instead of occupying capacity."""
+
+    type: ClassVar[str] = "invocation_timed_out"
+
+    invocation_id: int
+    reason: str
+    age: float
+
+
+@dataclass(frozen=True)
+class FallbackActivated(SimEvent):
+    """Graceful degradation: the gateway swapped a function's launch
+    configuration (GPU starvation or a capped crash-loop)."""
+
+    type: ClassVar[str] = "fallback_activated"
+
+    function: str
+    from_config: str
+    to_config: str
+    reason: str
 
 
 # -------------------------------------------------------------------- windows

@@ -90,6 +90,40 @@ class TestScenarioJson:
         assert aggregate(read_jsonl(written[0])).app == "image-query"
 
 
+class TestChaosFlags:
+    def write_plan(self, tmp_path):
+        plan = {
+            "outages": [{"machine": 0, "start": 20.05, "end": 28.0}],
+            "execution_faults": [{"rate": 0.2}],
+            "resilience": {"max_retries": 8, "retry_backoff": 0.2},
+        }
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(plan))
+        return path
+
+    def test_trace_with_fault_plan(self, tmp_path, capsys):
+        """`trace --faults` records the chaos and still reconstructs exactly
+        (a non-zero exit would mean schema or reconstruction failure)."""
+        out = tmp_path / "chaos.jsonl"
+        plan = self.write_plan(tmp_path)
+        rc = main(
+            ["trace", "image-query", "--policy", "on-demand",
+             "--out", str(out), "--faults", str(plan), *ARGS]
+        )
+        assert rc == 0
+        tags = {e.type for e in read_jsonl(out)}
+        assert {"machine_down", "machine_up", "stage_retried"} <= tags
+
+    def test_compare_with_chaos_flags(self, tmp_path, capsys):
+        plan = self.write_plan(tmp_path)
+        rc = main(
+            ["compare", "image-query", "--policies", "on-demand",
+             "--faults", str(plan), "--init-failure-rate", "0.1", *ARGS]
+        )
+        assert rc == 0
+        assert "on-demand" in capsys.readouterr().out
+
+
 class TestGridTracing:
     def test_cell_trace_path_and_run_cell(self, tmp_path):
         spec = CellSpec(

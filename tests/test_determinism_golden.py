@@ -24,6 +24,8 @@ GOLDEN = {
         "reinit_fraction": 0.0234375,
         "cpu_cost": 0.009589276514211511,
         "gpu_cost": 0.011645000000000003,
+        "availability": 1.0,
+        "goodput": 0.9375,
     },
     "grandslam": {
         "total_cost": 0.04533333333333334,
@@ -35,6 +37,8 @@ GOLDEN = {
         "reinit_fraction": 0.0,
         "cpu_cost": 0.04533333333333334,
         "gpu_cost": 0,
+        "availability": 1.0,
+        "goodput": 1.0,
     },
 }
 

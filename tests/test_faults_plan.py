@@ -1,0 +1,166 @@
+"""Unit tests for the declarative fault plan (:mod:`repro.faults`).
+
+The plan is the contract between chaos scenarios and the engine: it must
+round-trip through JSON, reject malformed specs loudly, and compose
+overlapping windows the documented way (probabilities saturate below 1,
+stragglers multiply, windows are half-open).
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.faults import (
+    ExecutionFault,
+    FaultPlan,
+    InitFailureBurst,
+    LatencyStraggler,
+    MachineOutage,
+    ResilienceSpec,
+)
+
+
+class TestSpecValidation:
+    def test_outage_rejects_negative_machine_and_bad_windows(self):
+        with pytest.raises(ValueError, match="machine index"):
+            MachineOutage(machine=-1, start=0.0)
+        with pytest.raises(ValueError, match="start must be >= 0"):
+            MachineOutage(machine=0, start=-1.0)
+        with pytest.raises(ValueError, match="end must be > start"):
+            MachineOutage(machine=0, start=5.0, end=5.0)
+
+    def test_rates_must_be_probabilities(self):
+        with pytest.raises(ValueError, match="rate"):
+            ExecutionFault(rate=1.5)
+        with pytest.raises(ValueError, match="rate"):
+            ExecutionFault(rate=-0.1)
+        with pytest.raises(ValueError, match="rate"):
+            InitFailureBurst(rate=2.0)
+
+    def test_straggler_must_slow_not_speed_up(self):
+        with pytest.raises(ValueError, match="factor"):
+            LatencyStraggler(factor=0.5)
+        with pytest.raises(ValueError, match="backend"):
+            LatencyStraggler(factor=2.0, backend="tpu")
+
+    def test_resilience_knob_bounds(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            ResilienceSpec(max_retries=-1)
+        with pytest.raises(ValueError, match="retry_backoff"):
+            ResilienceSpec(retry_backoff=-0.5)
+        with pytest.raises(ValueError, match="max_crash_loop"):
+            ResilienceSpec(max_crash_loop=0)
+        with pytest.raises(ValueError, match="deadline_factor"):
+            ResilienceSpec(deadline_factor=0.0)
+        with pytest.raises(ValueError, match="fallback_after"):
+            ResilienceSpec(fallback_after=0)
+
+    def test_unknown_keys_rejected_with_alternatives(self):
+        with pytest.raises(KeyError, match="unknown fault-plan keys"):
+            FaultPlan.from_dict({"outage": [{"machine": 0, "start": 1.0}]})
+        with pytest.raises(KeyError, match="valid keys"):
+            FaultPlan.from_dict({"outages": [{"machine": 0, "begin": 1.0}]})
+        with pytest.raises(KeyError, match="resilience"):
+            FaultPlan.from_dict({"resilience": {"retries": 3}})
+
+    def test_spec_entries_must_be_mappings(self):
+        with pytest.raises(TypeError, match="entries must be dicts"):
+            FaultPlan.from_dict({"outages": [3]})
+
+
+class TestLoading:
+    def test_single_dict_promoted_to_tuple(self):
+        plan = FaultPlan.from_dict(
+            {"outages": {"machine": 2, "start": 10.0, "end": 20.0}}
+        )
+        assert plan.outages == (MachineOutage(machine=2, start=10.0, end=20.0),)
+
+    def test_function_scalar_promoted_to_tuple(self):
+        plan = FaultPlan.from_dict(
+            {"execution_faults": {"rate": 0.1, "functions": "detector"}}
+        )
+        assert plan.execution_faults[0].functions == ("detector",)
+
+    def test_json_round_trip(self, tmp_path):
+        plan = FaultPlan(
+            outages=(MachineOutage(machine=0, start=30.0, end=45.0),),
+            execution_faults=(
+                ExecutionFault(rate=0.2, functions=("f",), start=5.0, end=50.0),
+            ),
+            stragglers=(
+                LatencyStraggler(factor=3.0, backend="gpu", start=0.0, end=10.0),
+            ),
+            init_failure_bursts=(InitFailureBurst(rate=0.5, start=1.0, end=2.0),),
+            resilience=ResilienceSpec(max_retries=5, deadline_factor=4.0),
+        )
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(plan.to_dict()))
+        assert FaultPlan.from_json(path) == plan
+
+    def test_infinite_window_survives_round_trip(self):
+        plan = FaultPlan(outages=(MachineOutage(machine=1, start=10.0),))
+        assert plan.outages[0].end == math.inf
+        revived = FaultPlan.from_dict(
+            json.loads(json.dumps(plan.to_dict()))
+        )
+        assert revived == plan
+
+    def test_plan_is_hashable_and_defaults_are_inert(self):
+        assert hash(FaultPlan()) == hash(FaultPlan())
+        plan = FaultPlan()
+        assert plan.execution_fault_rate("f", 0.0) == 0.0
+        assert plan.straggler_factor("f", "cpu", 0.0) == 1.0
+        assert plan.extra_init_failure_rate(0.0) == 0.0
+        assert plan.max_machine == -1
+
+
+class TestQueries:
+    def test_windows_are_half_open(self):
+        plan = FaultPlan(
+            execution_faults=(ExecutionFault(rate=0.25, start=10.0, end=20.0),)
+        )
+        assert plan.execution_fault_rate("f", 9.999) == 0.0
+        assert plan.execution_fault_rate("f", 10.0) == 0.25
+        assert plan.execution_fault_rate("f", 19.999) == 0.25
+        assert plan.execution_fault_rate("f", 20.0) == 0.0
+
+    def test_function_scoping(self):
+        plan = FaultPlan(
+            execution_faults=(ExecutionFault(rate=0.5, functions=("g",)),)
+        )
+        assert plan.execution_fault_rate("g", 0.0) == 0.5
+        assert plan.execution_fault_rate("f", 0.0) == 0.0
+
+    def test_overlapping_rates_saturate_below_one(self):
+        plan = FaultPlan(
+            execution_faults=(
+                ExecutionFault(rate=0.7),
+                ExecutionFault(rate=0.8),
+            ),
+            init_failure_bursts=(
+                InitFailureBurst(rate=0.9),
+                InitFailureBurst(rate=0.9),
+            ),
+        )
+        assert plan.execution_fault_rate("f", 0.0) == pytest.approx(0.999999)
+        assert plan.extra_init_failure_rate(0.0) == pytest.approx(0.999999)
+
+    def test_overlapping_stragglers_multiply(self):
+        plan = FaultPlan(
+            stragglers=(
+                LatencyStraggler(factor=2.0),
+                LatencyStraggler(factor=3.0, backend="gpu"),
+            )
+        )
+        assert plan.straggler_factor("f", "cpu", 0.0) == pytest.approx(2.0)
+        assert plan.straggler_factor("f", "gpu", 0.0) == pytest.approx(6.0)
+
+    def test_max_machine_spans_all_outages(self):
+        plan = FaultPlan(
+            outages=(
+                MachineOutage(machine=2, start=0.0, end=1.0),
+                MachineOutage(machine=5, start=3.0, end=4.0),
+            )
+        )
+        assert plan.max_machine == 5

@@ -99,7 +99,8 @@ def test_full_report_snapshot():
     assert format_report(make_metrics()) == dedent(
         """\
         run report — app=demo policy=unit sla=2.0s duration=100s
-        invocations: 6 completed, 1 unfinished, violations 42.9%
+        invocations: 6 completed, 1 unfinished, 0 timed out
+        violations 42.9%, availability 85.7%, goodput 57.1%
         latency: mean 1.83s p50 1.50s p99 3.93s
 
         total cost $0.0060
@@ -123,6 +124,27 @@ def test_full_report_snapshot():
           3.64- 4.04s |####################                    |    1
 
         (re)initializations: 3 (25.0% of stage executions cold, 1 failed)"""
+    )
+
+
+def test_full_report_faults_footer_snapshot():
+    """Runs that absorbed faults grow one extra summary section."""
+    m = make_metrics()
+    m.timed_out = 2
+    m.stage_retries = 4
+    m.failed_executions = 3
+    m.fallbacks = 1
+    report = format_report(m)
+    assert report.startswith(
+        dedent(
+            """\
+            run report — app=demo policy=unit sla=2.0s duration=100s
+            invocations: 6 completed, 1 unfinished, 2 timed out
+            violations 55.6%, availability 66.7%, goodput 44.4%"""
+        )
+    )
+    assert report.endswith(
+        "faults absorbed: 4 stage retries, 3 failed executions, 1 fallbacks"
     )
 
 

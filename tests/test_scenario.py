@@ -50,6 +50,48 @@ class TestSpecConstruction:
         path.write_text(json.dumps(spec.to_dict()))
         assert ScenarioSpec.from_json(path) == spec
 
+    def test_json_round_trip_with_fault_plan(self, tmp_path):
+        from repro.faults import (
+            ExecutionFault,
+            FaultPlan,
+            MachineOutage,
+            ResilienceSpec,
+        )
+
+        spec = ScenarioSpec(
+            apps=("image-query",),
+            policies=("on-demand",),
+            faults=FaultPlan(
+                outages=(MachineOutage(machine=0, start=30.0, end=45.0),),
+                execution_faults=(ExecutionFault(rate=0.1, functions=("f",)),),
+                resilience=ResilienceSpec(max_retries=5, deadline_factor=3.0),
+            ),
+            init_failure_rate=0.05,
+        )
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec.to_dict()))
+        revived = ScenarioSpec.from_json(path)
+        assert revived == spec
+        (cell,) = revived.cells()
+        assert cell.faults == spec.faults
+        assert cell.init_failure_rate == 0.05
+
+    def test_faults_key_accepts_plan_file_path(self, tmp_path):
+        from repro.faults import FaultPlan
+
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(
+            json.dumps({"outages": [{"machine": 1, "start": 5.0, "end": 9.0}]})
+        )
+        spec = ScenarioSpec.from_dict(
+            {
+                "apps": ["image-query"],
+                "policies": ["on-demand"],
+                "faults": str(plan_path),
+            }
+        )
+        assert spec.faults == FaultPlan.from_json(plan_path)
+
 
 class TestCompilation:
     def test_solo_cells_cover_the_product(self):

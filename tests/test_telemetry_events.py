@@ -24,15 +24,22 @@ from repro.telemetry import (
     write_jsonl,
 )
 from repro.telemetry.events import (
+    CLUSTER_SCOPE,
     Arrival,
     DirectiveChanged,
+    ExecutionFailed,
+    FallbackActivated,
     InstanceExpired,
     InstanceLaunched,
+    InvocationTimedOut,
+    MachineDown,
+    MachineUp,
     PrewarmScheduled,
     RunStarted,
     SimEvent,
     SlaViolation,
     StageFinish,
+    StageRetried,
     StageStart,
     WindowTick,
 )
@@ -93,6 +100,21 @@ SAMPLES = {
     ),
     "window_tick": WindowTick(
         t=1.0, app="a", window_index=0, arrivals=3, cpu_pods=2, gpu_pods=1
+    ),
+    "machine_down": MachineDown(t=5.0, app=CLUSTER_SCOPE, machine=2),
+    "machine_up": MachineUp(t=7.0, app=CLUSTER_SCOPE, machine=2),
+    "execution_failed": ExecutionFailed(
+        t=5.1, app="a", function="f", instance_id=3, batch=2
+    ),
+    "stage_retried": StageRetried(
+        t=5.1, app="a", invocation_id=7, function="f", attempt=1, delay=0.5
+    ),
+    "invocation_timed_out": InvocationTimedOut(
+        t=6.0, app="a", invocation_id=7, reason="deadline", age=5.0
+    ),
+    "fallback_activated": FallbackActivated(
+        t=6.5, app="a", function="f", from_config="gpu-30",
+        to_config="cpu-16", reason="gpu-starvation",
     ),
 }
 
@@ -217,6 +239,54 @@ def test_decision_audit_lists_changes_with_reasons():
 
 def test_decision_audit_empty():
     assert "no directive changes" in format_decision_audit([])
+
+
+def test_fault_audit_covers_fault_lifecycle():
+    from repro.telemetry import fault_audit
+
+    events = [
+        SAMPLES["run_started"],
+        SAMPLES["machine_down"],
+        SAMPLES["instance_init_failed"],
+        SAMPLES["execution_failed"],
+        SAMPLES["stage_retried"],
+        SAMPLES["invocation_timed_out"],
+        SAMPLES["fallback_activated"],
+        SAMPLES["machine_up"],
+        SAMPLES["arrival"],
+    ]
+    tags = [e.type for e in fault_audit(events)]
+    assert tags == [
+        "machine_down",
+        "instance_init_failed",
+        "execution_failed",
+        "stage_retried",
+        "invocation_timed_out",
+        "fallback_activated",
+        "machine_up",
+    ]
+
+
+def test_chrome_trace_renders_fault_events(tmp_path):
+    events = [
+        SAMPLES["run_started"],
+        SAMPLES["machine_down"],
+        SAMPLES["execution_failed"],
+        SAMPLES["stage_retried"],
+        SAMPLES["invocation_timed_out"],
+        SAMPLES["fallback_activated"],
+        SAMPLES["machine_up"],
+    ]
+    doc = to_chrome_trace(events)
+    names = [e["args"]["name"] for e in doc["traceEvents"] if e["name"] == "process_name"]
+    assert "cluster" in names and CLUSTER_SCOPE not in names
+    instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+    cats = {e["cat"] for e in instants}
+    assert {"cluster", "fault", "policy"} <= cats
+    # Strict JSON round trip still holds with the fault instants present.
+    path = tmp_path / "chaos.json"
+    write_chrome_trace(events, path)
+    assert json.loads(path.read_text())["traceEvents"]
 
 
 def test_prewarm_audit_covers_lifecycle():

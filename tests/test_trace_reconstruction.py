@@ -52,6 +52,10 @@ def assert_metrics_equal(live, rebuilt):
     assert rebuilt.cold_stage_executions == live.cold_stage_executions
     assert rebuilt.initializations == live.initializations
     assert rebuilt.failed_initializations == live.failed_initializations
+    assert rebuilt.timed_out == live.timed_out
+    assert rebuilt.stage_retries == live.stage_retries
+    assert rebuilt.failed_executions == live.failed_executions
+    assert rebuilt.fallbacks == live.fallbacks
     assert rebuilt.pod_samples == live.pod_samples
     assert rebuilt.arrival_samples == live.arrival_samples
     assert rebuilt.total_cost() == live.total_cost()
@@ -105,6 +109,36 @@ def test_aggregate_with_init_failures(environments):
         recorder=rec,
     ).run()
     assert live.failed_initializations > 0
+    assert_metrics_equal(live, aggregate(rec.events))
+
+
+def test_aggregate_with_fault_plan(environments):
+    """Reconstruction stays exact when the chaos machinery is active."""
+    from repro.faults import (
+        ExecutionFault,
+        FaultPlan,
+        MachineOutage,
+        ResilienceSpec,
+    )
+
+    env = environments["image-query"]
+    plan = FaultPlan(
+        outages=(MachineOutage(machine=0, start=20.05, end=30.0),),
+        execution_faults=(ExecutionFault(rate=0.2),),
+        resilience=ResilienceSpec(max_retries=8, retry_backoff=0.2),
+    )
+    rec = TraceRecorder()
+    live = ServerlessSimulator(
+        env.app,
+        env.trace,
+        env.make_policy("smiless"),
+        seed=3,
+        faults=plan,
+        recorder=rec,
+    ).run()
+    assert live.stage_retries > 0
+    for event in rec:
+        assert validate_event(to_dict(event)) == []
     assert_metrics_equal(live, aggregate(rec.events))
 
 
