@@ -1,0 +1,181 @@
+"""Macro benchmark: million-invocation co-runs in bounded memory.
+
+Drives ``python -m repro.cli bench --macro`` — the three Fig. 7 apps
+co-run on one cluster under the ``flood`` preset with ``retention="sketch"``
+— in fresh subprocesses so each run's peak RSS (``ru_maxrss``) is its own,
+and writes the headline record to ``BENCH_macro.json`` at the repository
+root.
+
+Two modes:
+
+- **full** (default): a 1,000,000-invocation sketch run plus a
+  100,000-invocation sketch run; asserts the *scale plane contract* —
+  peak RSS stays flat as the trace grows 10x (bounded-memory retention)
+  — and an in-process 100k-aggregate co-run checks sketch p50/p99
+  against full-retention reference latencies within the sketch's
+  documented rank-error bound;
+- **smoke** (``SMILESS_BENCH_SMOKE=1``): a 100,000-invocation sketch run
+  only.  When a recorded smoke baseline exists
+  (``benchmarks/results/BENCH_macro_smoke_baseline.json``), the run
+  fails if simulation wall-clock regresses past ``MAX_SMOKE_REGRESSION``
+  times the recording.  Used by CI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+import numpy as np
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+BENCH_JSON = REPO_ROOT / "BENCH_macro.json"
+SMOKE_BASELINE_JSON = (
+    REPO_ROOT / "benchmarks" / "results" / "BENCH_macro_smoke_baseline.json"
+)
+
+SMOKE = bool(os.environ.get("SMILESS_BENCH_SMOKE"))
+
+#: Wall-clock regression gate for smoke mode (same policy as the
+#: microbench smoke gate).
+MAX_SMOKE_REGRESSION = 1.3
+
+#: RSS flatness gate: the 1M-invocation run may use at most this factor
+#: of the 100k run's peak RSS.  Sketch retention is O(1) in the trace
+#: length, so the only growth allowed is allocator noise — a 10x trace
+#: with anywhere near 10x memory fails loudly.
+MAX_RSS_GROWTH = 1.35
+
+
+def _run_bench(invocations: int, out: pathlib.Path) -> dict:
+    """Run ``repro bench --macro`` in a fresh subprocess; return its record."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "bench",
+            "--macro",
+            "--invocations",
+            str(invocations),
+            "--out",
+            str(out),
+        ],
+        check=True,
+        cwd=REPO_ROOT,
+        env=env,
+    )
+    return json.loads(out.read_text())
+
+
+def _check_record(record: dict, invocations: int) -> None:
+    assert record["generated_by"] == "repro bench --macro"
+    assert record["invocations_target"] == invocations
+    assert record["retention"] == "sketch"
+    # The flood regime is stable (no unbounded queueing), so nearly every
+    # arrival completes within the horizon.
+    assert record["completed"] >= 0.95 * invocations
+    assert record["peak_rss_mb"] > 0
+    assert record["events_per_second"] > 0
+    assert set(record["apps"]) == {"amber-alert", "image-query", "voice-assistant"}
+
+
+def test_macro_bench(tmp_path):
+    if SMOKE:
+        record = _run_bench(100_000, BENCH_JSON)
+        _check_record(record, 100_000)
+        print(
+            f"\n[perf macrobench] mode=smoke "
+            f"wall={record['wall_clock_seconds']:.1f}s "
+            f"rss={record['peak_rss_mb']:.0f}MB"
+        )
+        if SMOKE_BASELINE_JSON.exists():
+            recorded = json.loads(SMOKE_BASELINE_JSON.read_text())
+            limit = MAX_SMOKE_REGRESSION * recorded["wall_clock_seconds"]
+            assert record["wall_clock_seconds"] <= limit, (
+                f"100k macro co-run took {record['wall_clock_seconds']:.1f}s, "
+                f"past {MAX_SMOKE_REGRESSION}x the recorded "
+                f"{recorded['wall_clock_seconds']:.1f}s baseline "
+                f"(recorded at {recorded.get('recorded_at', 'unknown')})"
+            )
+        return
+
+    small = _run_bench(100_000, tmp_path / "macro_100k.json")
+    _check_record(small, 100_000)
+    big = _run_bench(1_000_000, BENCH_JSON)
+    _check_record(big, 1_000_000)
+
+    # The tentpole assert: memory does not scale with the trace.
+    growth = big["peak_rss_mb"] / small["peak_rss_mb"]
+    print(
+        f"\n[perf macrobench] mode=full "
+        f"1M: wall={big['wall_clock_seconds']:.1f}s "
+        f"rss={big['peak_rss_mb']:.0f}MB "
+        f"({big['events_per_second']:,.0f} events/s); "
+        f"100k rss={small['peak_rss_mb']:.0f}MB; growth={growth:.2f}x"
+    )
+    assert growth <= MAX_RSS_GROWTH, (
+        f"peak RSS grew {growth:.2f}x from 100k to 1M invocations "
+        f"(limit {MAX_RSS_GROWTH}x) — sketch retention is leaking records"
+    )
+
+
+def test_sketch_quantiles_match_full_reference_at_scale():
+    """Sketch p50/p99 vs full-retention reference at ~100k aggregate.
+
+    Runs the macro co-run twice in-process — identical scenario, the two
+    retention modes — and checks every app's sketch quantiles against the
+    exact latencies the full run retained, within the sketch's documented
+    rank-error bound.  (The simulations themselves are bit-identical; see
+    tests/test_retention_differential.py.)
+    """
+    if SMOKE:
+        import pytest
+
+        pytest.skip("full-reference comparison runs in full mode only")
+
+    from repro.experiments.runners import APP_BUILDERS, build_environment
+    from repro.simulator import Deployment, MultiAppSimulator
+    from repro.workload.azure import PRESETS
+
+    rate = len(APP_BUILDERS) / PRESETS["flood"].mean_gap
+    duration = float(np.ceil(100_000 / rate))
+    envs = [
+        build_environment(name, preset="flood", duration=duration)
+        for name in sorted(APP_BUILDERS)
+    ]
+
+    def co_run(retention: str):
+        deployments = [
+            Deployment(e.app, e.trace, e.make_policy("grandslam")) for e in envs
+        ]
+        return MultiAppSimulator(
+            deployments, seed=3, retention=retention
+        ).run()
+
+    full = co_run("full")
+    sketch = co_run("sketch")
+    for app, full_metrics in full.items():
+        lat = np.sort(full_metrics.latencies())
+        sk = sketch[app]
+        assert sk.n_completed == lat.size
+        bound = sk.latency_sketch.rank_error_bound
+        for q in (50.0, 99.0):
+            value = sk.latency_percentile(q)
+            lo = np.searchsorted(lat, value, side="left") / lat.size
+            hi = np.searchsorted(lat, value, side="right") / lat.size
+            target = q / 100.0
+            err = (
+                0.0
+                if lo <= target <= hi
+                else min(abs(target - lo), abs(target - hi))
+            )
+            assert err <= bound + 1e-12, (
+                f"{app} p{q}: rank error {err:.5f} > bound {bound:.5f} "
+                f"(n={lat.size})"
+            )

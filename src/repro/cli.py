@@ -12,6 +12,9 @@ Subcommands wrap the :mod:`repro.experiments` runners:
   reconstruction check
 - ``report``    — full text report for one run (live, or rebuilt offline
   from a JSONL trace with ``--from-trace``)
+- ``bench``     — the macro benchmark: a million-invocation multi-app
+  co-run with ``retention=sketch`` (bounded memory), recording wall-clock,
+  event throughput and peak RSS to ``BENCH_macro.json``
 - ``profile``   — print a function's profiled latency/init models
 - ``apps``      — list the built-in applications and workload presets
 
@@ -23,6 +26,7 @@ Examples::
     python -m repro.cli scenario spec.json --workers 4 --json
     python -m repro.cli trace image-query --out run.jsonl --chrome run.trace.json
     python -m repro.cli report image-query --from-trace run.jsonl
+    python -m repro.cli bench --macro --invocations 1000000
     python -m repro.cli profile TRS
 """
 
@@ -42,6 +46,7 @@ from repro.experiments import (
     run_sla_sweep,
 )
 from repro.experiments.runners import APP_BUILDERS, POLICY_NAMES
+from repro.simulator.metrics import RETENTION_MODES
 from repro.workload.azure import PRESETS
 
 
@@ -86,6 +91,7 @@ def cmd_compare(args) -> int:
             workers=args.workers,
             init_failure_rate=args.init_failure_rate,
             faults=_load_faults(args),
+            retention=args.retention,
         )
     )
     return 0
@@ -104,6 +110,7 @@ def cmd_sweep(args) -> int:
         workers=args.workers,
         init_failure_rate=args.init_failure_rate,
         faults=_load_faults(args),
+        retention=args.retention,
     ):
         print(
             f"{sla:>5.1f}s ${row.total_cost:>8.4f} "
@@ -132,6 +139,7 @@ def cmd_multiapp(args) -> int:
         workers=args.workers,
         init_failure_rate=args.init_failure_rate,
         faults=_load_faults(args),
+        retention=args.retention,
     )
     _print_rows(
         [row for _, row in sorted(results.items())]
@@ -143,10 +151,15 @@ def cmd_multiapp(args) -> int:
 
 def cmd_scenario(args) -> int:
     spec = ScenarioSpec.from_json(args.spec)
-    if args.trace_dir is not None:
+    if args.trace_dir is not None or args.retention is not None:
         import dataclasses
 
-        spec = dataclasses.replace(spec, trace_dir=args.trace_dir)
+        overrides = {}
+        if args.trace_dir is not None:
+            overrides["trace_dir"] = args.trace_dir
+        if args.retention is not None:
+            overrides["retention"] = args.retention
+        spec = dataclasses.replace(spec, **overrides)
     if args.json:
         from repro.experiments.parallel import run_grid
 
@@ -340,6 +353,74 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    import resource
+
+    from repro.experiments.parallel import EnvSpec, MultiAppCellSpec, run_cell
+
+    if not args.macro:
+        print("error: bench currently supports --macro only")
+        return 2
+    apps = tuple(sorted(APP_BUILDERS))
+    rate_per_app = 1.0 / PRESETS[args.preset].mean_gap
+    aggregate_rate = rate_per_app * len(apps)
+    duration = (
+        float(args.duration)
+        if args.duration is not None
+        else math.ceil(args.invocations / aggregate_rate)
+    )
+    print(
+        f"macro bench: {len(apps)} apps x preset {args.preset!r} "
+        f"(~{aggregate_rate:.0f} arrivals/s aggregate) for {duration:.0f}s "
+        f"under {args.policy!r}, retention={args.retention!r}"
+    )
+    spec = MultiAppCellSpec(
+        envs=tuple(
+            EnvSpec(
+                app=name,
+                preset=args.preset,
+                sla=args.sla,
+                duration=duration,
+                seed=args.seed,
+            )
+            for name in apps
+        ),
+        policy=args.policy,
+        sim_seed=args.seed + 3,
+        retention=args.retention,
+    )
+    res = run_cell(spec)
+    # ru_maxrss is KiB on Linux: the process-lifetime peak, which is the
+    # macro bench's headline (environment build + full co-run).
+    peak_rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+    completed = sum(s["invocations"] for s in res.summary.values())
+    record = {
+        "generated_by": "repro bench --macro",
+        "invocations_target": int(args.invocations),
+        "completed": int(completed),
+        "policy": args.policy,
+        "preset": args.preset,
+        "retention": args.retention,
+        "sla": args.sla,
+        "duration": duration,
+        "seed": args.seed,
+        "wall_clock_seconds": res.wall_clock,
+        "events_processed": res.events_processed,
+        "events_per_second": res.events_per_second,
+        "peak_rss_mb": peak_rss_mb,
+        "apps": _json_safe(res.summary),
+    }
+    with open(args.out, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    print(
+        f"completed {int(completed)} invocations in {res.wall_clock:.1f}s "
+        f"({res.events_per_second:,.0f} events/s), peak RSS {peak_rss_mb:.0f} MB"
+    )
+    print(f"wrote {args.out}")
+    return 0
+
+
 def cmd_apps(args) -> int:
     print("applications:")
     for name, builder in APP_BUILDERS.items():
@@ -378,6 +459,15 @@ def build_parser() -> argparse.ArgumentParser:
                 help="worker processes for the experiment grid (1 = serial)",
             )
 
+    def retention_arg(p, default="full"):
+        p.add_argument(
+            "--retention",
+            default=default,
+            choices=sorted(RETENTION_MODES),
+            help="record retention: 'full' keeps every record (exact), "
+            "'sketch' streams latency into bounded-memory sketches",
+        )
+
     def chaos(p):
         p.add_argument(
             "--init-failure-rate",
@@ -404,6 +494,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     common(p, workers=True)
     chaos(p)
+    retention_arg(p)
     p.set_defaults(func=cmd_compare)
 
     p = sub.add_parser("sweep", help="SLA sweep under one policy")
@@ -412,12 +503,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--slas", nargs="+", type=float, default=[1.0, 2.0, 4.0, 8.0])
     common(p, workers=True)
     chaos(p)
+    retention_arg(p)
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("multiapp", help="co-run the three evaluation apps")
     p.add_argument("--policy", default="smiless", choices=POLICY_NAMES)
     common(p, workers=True)
     chaos(p)
+    retention_arg(p)
     p.set_defaults(func=cmd_multiapp)
 
     p = sub.add_parser(
@@ -439,6 +532,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-dir",
         default=None,
         help="record every cell and write JSONL event traces here",
+    )
+    p.add_argument(
+        "--retention",
+        default=None,
+        choices=sorted(RETENTION_MODES),
+        help="override the spec's record-retention mode",
     )
     p.set_defaults(func=cmd_scenario)
 
@@ -483,6 +582,39 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     chaos(p)
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "bench",
+        help="macro benchmark: million-invocation multi-app co-run",
+    )
+    p.add_argument(
+        "--macro",
+        action="store_true",
+        help="run the macro benchmark (multi-app co-run at flood rates)",
+    )
+    p.add_argument(
+        "--invocations",
+        type=int,
+        default=1_000_000,
+        help="target aggregate arrival count (sets the horizon)",
+    )
+    p.add_argument("--preset", default="flood", choices=sorted(PRESETS))
+    p.add_argument("--policy", default="grandslam", choices=POLICY_NAMES)
+    p.add_argument("--sla", type=float, default=2.0)
+    p.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="horizon override in seconds (default: --invocations / rate)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    retention_arg(p, default="sketch")
+    p.add_argument(
+        "--out",
+        default="BENCH_macro.json",
+        help="benchmark record output path (default: BENCH_macro.json)",
+    )
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("profile", help="profile one Table I model")
     p.add_argument("model")

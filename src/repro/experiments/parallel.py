@@ -54,6 +54,10 @@ class CellSpec:
     ``faults`` attaches a full :class:`~repro.faults.FaultPlan` (machine
     outages, execution faults, stragglers, resilience knobs).  Both are
     picklable, so chaos cells fan across workers like any other cell.
+
+    ``retention`` selects record retention ("full" keeps every record,
+    "sketch" folds completions into streaming accumulators for
+    O(1)-memory runs — see ``docs/performance.md``).
     """
 
     env: EnvSpec
@@ -62,6 +66,7 @@ class CellSpec:
     trace_dir: str | None = None
     init_failure_rate: float = 0.0
     faults: "FaultPlan | None" = None
+    retention: str = "full"
 
 
 @dataclass(frozen=True)
@@ -82,6 +87,7 @@ class MultiAppCellSpec:
     trace_dir: str | None = None
     init_failure_rate: float = 0.0
     faults: "FaultPlan | None" = None
+    retention: str = "full"
 
 
 @dataclass(frozen=True)
@@ -175,6 +181,7 @@ def run_cell(spec: CellSpec | MultiAppCellSpec) -> CellResult:
         recorder=recorder,
         init_failure_rate=spec.init_failure_rate,
         faults=spec.faults,
+        retention=spec.retention,
     )
     metrics = sim.run()
     wall = time.perf_counter() - start
@@ -204,6 +211,7 @@ def _run_multiapp_cell(spec: MultiAppCellSpec) -> CellResult:
         recorder=recorder,
         init_failure_rate=spec.init_failure_rate,
         faults=spec.faults,
+        retention=spec.retention,
     )
     results = sim.run()
     wall = time.perf_counter() - start

@@ -153,6 +153,7 @@ def run_comparison(
     workers: int = 1,
     init_failure_rate: float = 0.0,
     faults: "FaultPlan | None" = None,
+    retention: str = "full",
 ) -> list[ComparisonRow]:
     """Serve the environment's trace under each policy.
 
@@ -175,6 +176,7 @@ def run_comparison(
                     seed=seed,
                     init_failure_rate=init_failure_rate,
                     faults=faults,
+                    retention=retention,
                 ).run(),
             )
             for name in policies
@@ -185,6 +187,7 @@ def run_comparison(
         seeds=(seed,),
         init_failure_rate=init_failure_rate,
         faults=faults,
+        retention=retention,
     )
     return [
         ComparisonRow.from_summary(res.spec.policy, res.summary)
@@ -201,6 +204,7 @@ def run_sla_sweep(
     workers: int = 1,
     init_failure_rate: float = 0.0,
     faults: "FaultPlan | None" = None,
+    retention: str = "full",
 ) -> list[tuple[float, ComparisonRow]]:
     """Re-serve the trace at each SLA target under one policy.
 
@@ -227,6 +231,7 @@ def run_sla_sweep(
                 seed=seed,
                 init_failure_rate=init_failure_rate,
                 faults=faults,
+                retention=retention,
             ).run()
             out.append((sla, ComparisonRow.from_metrics(policy, metrics)))
         return out
@@ -237,6 +242,7 @@ def run_sla_sweep(
         seeds=(seed,),
         init_failure_rate=init_failure_rate,
         faults=faults,
+        retention=retention,
     )
     return [
         (sla, ComparisonRow.from_summary(policy, res.summary))
@@ -253,6 +259,7 @@ def run_multi_app(
     seeding: str = "name",
     init_failure_rate: float = 0.0,
     faults: "FaultPlan | None" = None,
+    retention: str = "full",
 ) -> dict[str, ComparisonRow] | dict[str, dict[str, ComparisonRow]]:
     """Co-run several environments on one shared cluster (§VII-A).
 
@@ -281,6 +288,7 @@ def run_multi_app(
                 seeding=seeding,
                 init_failure_rate=init_failure_rate,
                 faults=faults,
+                retention=retention,
             ).run()
             results[name] = {
                 app: ComparisonRow.from_metrics(name, m)
@@ -295,6 +303,7 @@ def run_multi_app(
                 seeding=seeding,
                 init_failure_rate=init_failure_rate,
                 faults=faults,
+                retention=retention,
             )
             for name in names
         ]

@@ -75,6 +75,11 @@ class ScenarioSpec:
     #: knobs absorbing them.  In JSON form this key accepts an inline
     #: fault-plan object or a path string to a plan file.
     faults: FaultPlan | None = None
+    #: Record retention for every cell: "full" keeps every invocation and
+    #: billing record (exact, memory grows with the trace), "sketch" folds
+    #: completions into streaming accumulators (O(1) memory; latency
+    #: distributions approximate within a documented rank-error bound).
+    retention: str = "full"
 
     def __post_init__(self) -> None:
         if not self.apps:
@@ -84,6 +89,13 @@ class ScenarioSpec:
         for axis in ("slas", "presets", "seeds"):
             if not getattr(self, axis):
                 raise ValueError(f"scenario axis {axis!r} must be non-empty")
+        from repro.simulator.metrics import RETENTION_MODES
+
+        if self.retention not in RETENTION_MODES:
+            raise ValueError(
+                f"unknown retention mode {self.retention!r}; "
+                f"expected one of {RETENTION_MODES}"
+            )
 
     # ------------------------------------------------------------- loading
     @classmethod
@@ -126,6 +138,7 @@ class ScenarioSpec:
         seeds: Sequence[int] = (3,),
         init_failure_rate: float = 0.0,
         faults: FaultPlan | None = None,
+        retention: str = "full",
     ) -> "ScenarioSpec":
         """Scenario over one already-specified environment recipe.
 
@@ -144,6 +157,7 @@ class ScenarioSpec:
             env_seed=env.seed,
             init_failure_rate=init_failure_rate,
             faults=faults,
+            retention=retention,
         )
 
     def to_dict(self) -> dict[str, Any]:
@@ -171,6 +185,7 @@ class ScenarioSpec:
                     trace_dir=self.trace_dir,
                     init_failure_rate=self.init_failure_rate,
                     faults=self.faults,
+                    retention=self.retention,
                 )
                 for preset in self.presets
                 for sla in self.slas
@@ -185,6 +200,7 @@ class ScenarioSpec:
                 trace_dir=self.trace_dir,
                 init_failure_rate=self.init_failure_rate,
                 faults=self.faults,
+                retention=self.retention,
             )
             for preset in self.presets
             for app in self.apps

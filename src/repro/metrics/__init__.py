@@ -1,0 +1,14 @@
+"""Streaming metric primitives for bounded-memory runs.
+
+:mod:`repro.metrics.sketch` holds the mergeable streaming accumulators
+the ``retention="sketch"`` mode of
+:class:`~repro.simulator.metrics.RunMetrics` folds completed invocations
+into: a t-digest-style :class:`QuantileSketch` for latency distributions
+and exact :class:`StreamingStats` for means/counts/extrema.  See
+``docs/performance.md`` ("Scaling to millions of invocations") for the
+retention modes and the documented rank-error bound.
+"""
+
+from repro.metrics.sketch import QuantileSketch, StreamingStats
+
+__all__ = ["QuantileSketch", "StreamingStats"]

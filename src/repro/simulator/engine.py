@@ -55,6 +55,7 @@ class ServerlessSimulator:
         gpu_contention: float = 0.0,
         recorder: "Recorder | None" = None,
         faults: "FaultPlan | None" = None,
+        retention: str = "full",
     ) -> None:
         self.runtime = Runtime(
             cluster=cluster,
@@ -72,6 +73,7 @@ class ServerlessSimulator:
             noisy=noisy,
             init_failure_rate=init_failure_rate,
             gpu_contention=gpu_contention,
+            retention=retention,
         )
 
     # Shared mechanism lives on the runtime.

@@ -198,6 +198,7 @@ class Gateway:
         noisy: bool = True,
         init_failure_rate: float = 0.0,
         gpu_contention: float = 0.0,
+        retention: str = "full",
     ) -> None:
         if window <= 0:
             raise ValueError(f"window must be > 0, got {window}")
@@ -245,7 +246,13 @@ class Gateway:
             )
             for spec in app.specs
         }
-        self.metrics = RunMetrics(app=app.name, policy=policy.name, sla=app.sla)
+        # Record retention: "full" keeps every record (historical behaviour),
+        # "sketch" folds completions into streaming accumulators so memory
+        # stays O(1) in the arrival count.  `_sketch` is the hot-path bool.
+        self.metrics = RunMetrics(
+            app=app.name, policy=policy.name, sla=app.sla, retention=retention
+        )
+        self._sketch = retention == "sketch"
         self.directives: dict[str, FunctionDirective] = {}
         self.pools: dict[str, InstancePool] = {
             f: InstancePool() for f in app.function_names
@@ -351,7 +358,11 @@ class Gateway:
             inv.remaining = len(self.app)  # type: ignore[attr-defined]
             for fn in self.app.function_names:
                 self.pending_stage_demand[fn] += 1
-            self.metrics.invocations.append(inv)
+            if not self._sketch:
+                # Sketch retention drops the record at completion time;
+                # arrivals stay implied by the conservation counters
+                # (completed + unfinished + timed_out).
+                self.metrics.invocations.append(inv)
             self._open_invocations += 1
             self._current_window_count += 1
             res = self._resilience
@@ -547,6 +558,11 @@ class Gateway:
                     handle = self._deadline_timers.pop(inv.invocation_id, None)
                     if handle is not None:
                         handle.cancel()
+                if self._sketch:
+                    # Fold the completed record into the streaming
+                    # accumulators and let it go out of scope — nothing
+                    # retains it past this point.
+                    self.metrics.record_completion(now - inv.arrival)
                 if self._rec is not None:
                     latency = now - inv.arrival
                     self._rec.emit(
@@ -898,7 +914,7 @@ class Gateway:
         inst.mark_terminated(self.events.now)
         self.cluster.release(inst.placement)
         usage = InstanceUsage.from_instance(inst, self.events.now)
-        self.metrics.instances.append(usage)
+        self.metrics.record_instance(usage)
         if self._rec is not None:
             if (
                 inst.prewarmed
@@ -1076,11 +1092,13 @@ class Gateway:
                     self._terminate(inst, reason="shutdown")
         self.metrics.duration = now
         self.metrics.unfinished = self._open_invocations
-        # Unfinished invocations are SLA violations by definition; drop them
-        # from the completed list so latency stats cover finished ones only.
-        self.metrics.invocations = [
-            inv for inv in self.metrics.invocations if inv.finished
-        ]
+        if not self._sketch:
+            # Unfinished invocations are SLA violations by definition; drop
+            # them from the completed list so latency stats cover finished
+            # ones only.  (Sketch retention never appended them.)
+            self.metrics.invocations = [
+                inv for inv in self.metrics.invocations if inv.finished
+            ]
         if self._rec is not None:
             self._rec.emit(
                 RunFinished(
@@ -1088,5 +1106,11 @@ class Gateway:
                     app=self.app.name,
                     duration=now,
                     unfinished=self._open_invocations,
+                    completed=self.metrics.n_completed,
+                    latency_sketch=(
+                        self.metrics.latency_sketch.to_flat()
+                        if self._sketch
+                        else ()
+                    ),
                 )
             )

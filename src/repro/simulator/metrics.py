@@ -17,8 +17,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.hardware.configs import Backend, HardwareConfig
+from repro.metrics.sketch import QuantileSketch, StreamingStats
 from repro.simulator.container import Instance
 from repro.simulator.invocation import Invocation
+
+#: Recognised record-retention modes (see :class:`RunMetrics.retention`).
+RETENTION_MODES = ("full", "sketch")
 
 
 @dataclass(frozen=True)
@@ -52,12 +56,71 @@ class InstanceUsage:
 
 
 @dataclass
+class BillingFold:
+    """Exact streaming fold of :class:`InstanceUsage` billing rows.
+
+    The ``retention="sketch"`` replacement for the full ``instances``
+    list: every terminated instance is folded into running sums *in
+    termination order*, so every cost figure is **bit-identical** to the
+    equivalent ``sum(...)`` over a retained list — only O(#functions)
+    state survives, independent of how many instances the run churned.
+    """
+
+    total_cost: float = 0.0
+    cpu_cost: float = 0.0
+    gpu_cost: float = 0.0
+    init_cost: float = 0.0
+    busy_cost: float = 0.0
+    idle_cost: float = 0.0
+    instances: int = 0
+    #: function -> {instances, lifetime, cost, served} rollup (reporting).
+    per_function: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def fold(self, usage: InstanceUsage) -> None:
+        """Fold one terminated instance's billing snapshot in."""
+        self.total_cost += usage.cost
+        if usage.config.backend is Backend.GPU:
+            self.gpu_cost += usage.cost
+        else:
+            self.cpu_cost += usage.cost
+        unit = usage.config.unit_cost
+        self.init_cost += usage.init_seconds * unit
+        self.busy_cost += usage.busy_seconds * unit
+        self.idle_cost += usage.idle_seconds * unit
+        self.instances += 1
+        row = self.per_function.setdefault(
+            usage.function,
+            {"instances": 0, "lifetime": 0.0, "cost": 0.0, "served": 0},
+        )
+        row["instances"] += 1
+        row["lifetime"] += usage.lifetime
+        row["cost"] += usage.cost
+        row["served"] += usage.invocations_served
+
+
+@dataclass
 class RunMetrics:
-    """Aggregated outcome of one simulation run."""
+    """Aggregated outcome of one simulation run.
+
+    ``retention`` selects how per-record state is kept:
+
+    - ``"full"`` (default): every completed :class:`Invocation` and every
+      :class:`InstanceUsage` billing row is retained — memory grows with
+      the trace, every statistic is exact.  The historical behaviour.
+    - ``"sketch"``: completed invocations fold into a
+      :class:`~repro.metrics.sketch.QuantileSketch` (latency
+      distribution) plus exact counters, and billing rows fold into a
+      :class:`BillingFold` — memory is O(1) in the arrival count.  Every
+      *non-distributional* figure (costs, counts, violation/availability/
+      goodput ratios) stays bit-identical to a ``full`` run; only latency
+      percentiles and the mean become approximate, within the sketch's
+      documented rank-error bound (see ``docs/performance.md``).
+    """
 
     app: str
     policy: str
     sla: float
+    retention: str = "full"
     duration: float = 0.0
     instances: list[InstanceUsage] = field(default_factory=list)
     invocations: list[Invocation] = field(default_factory=list)
@@ -78,14 +141,89 @@ class RunMetrics:
     fallbacks: int = 0
     pod_samples: list[tuple[float, int, int]] = field(default_factory=list)
     arrival_samples: list[tuple[float, int]] = field(default_factory=list)
+    # -- sketch-retention state (None / 0 under retention="full") -----------
+    #: Completed-invocation count (the sketch-mode stand-in for
+    #: ``len(invocations)``; exact).
+    completed_count: int = 0
+    #: Completions past the SLA (exact; same epsilon as violation_ratio).
+    sla_violation_count: int = 0
+    #: Completions within the SLA (exact complement of the above).
+    within_sla_count: int = 0
+    #: Streaming latency distribution (approximate, bounded rank error).
+    latency_sketch: QuantileSketch | None = None
+    #: Streaming latency moments (exact count/sum/min/max).
+    latency_stats: StreamingStats | None = None
+    #: Streaming billing fold (exact, replaces the ``instances`` list).
+    billing: BillingFold | None = None
+
+    def __post_init__(self) -> None:
+        if self.retention not in RETENTION_MODES:
+            raise ValueError(
+                f"unknown retention mode {self.retention!r}; "
+                f"expected one of {RETENTION_MODES}"
+            )
+        if self.retention == "sketch":
+            if self.latency_sketch is None:
+                self.latency_sketch = QuantileSketch()
+            if self.latency_stats is None:
+                self.latency_stats = StreamingStats()
+            if self.billing is None:
+                self.billing = BillingFold()
+
+    # -- recording (the gateway's counter-mutation points) -------------------
+    def record_arrival(self, inv: Invocation) -> None:
+        """One invocation arrived.  Retained under ``full``, counted-only
+        under ``sketch`` (arrivals are implied by completion counters plus
+        ``unfinished``/``timed_out`` conservation)."""
+        if self.retention == "full":
+            self.invocations.append(inv)
+
+    def record_completion(self, latency: float) -> None:
+        """One invocation completed (sketch mode): fold its latency in.
+
+        Full-retention runs never call this — their latency statistics
+        are computed from the retained records at query time.
+        """
+        self.completed_count += 1
+        self.latency_sketch.add(latency)
+        self.latency_stats.add(latency)
+        # Same epsilon as violation_ratio()'s vectorized comparison, so
+        # the counters are bit-compatible with the full-retention path.
+        if latency > self.sla + 1e-9:
+            self.sla_violation_count += 1
+        else:
+            self.within_sla_count += 1
+
+    def record_instance(self, usage: InstanceUsage) -> None:
+        """One instance terminated: retain its billing row, or fold it."""
+        if self.retention == "full":
+            self.instances.append(usage)
+        else:
+            self.billing.fold(usage)
+
+    @property
+    def n_completed(self) -> int:
+        """Completed invocations, uniform across retention modes."""
+        if self.retention == "sketch":
+            return self.completed_count
+        return len(self.invocations)
 
     # -- cost ----------------------------------------------------------------
     def total_cost(self) -> float:
         """Total dollars billed over the run (Fig. 8a)."""
+        if self.retention == "sketch":
+            return self.billing.total_cost
         return sum(u.cost for u in self.instances)
 
     def cost_breakdown(self) -> dict[str, float]:
         """Dollars split into initialization / inference / keep-alive idle."""
+        if self.retention == "sketch":
+            b = self.billing
+            return {
+                "init": b.init_cost,
+                "inference": b.busy_cost,
+                "keepalive": b.idle_cost,
+            }
         init = sum(u.init_seconds * u.config.unit_cost for u in self.instances)
         busy = sum(u.busy_seconds * u.config.unit_cost for u in self.instances)
         idle = sum(u.idle_seconds * u.config.unit_cost for u in self.instances)
@@ -93,6 +231,12 @@ class RunMetrics:
 
     def backend_cost(self, backend: Backend) -> float:
         """Dollars billed on one backend type."""
+        if self.retention == "sketch":
+            return (
+                self.billing.gpu_cost
+                if backend is Backend.GPU
+                else self.billing.cpu_cost
+            )
         return sum(u.cost for u in self.instances if u.config.backend is backend)
 
     def cpu_gpu_cost_ratio(self) -> float:
@@ -103,19 +247,33 @@ class RunMetrics:
 
     # -- latency / SLA ----------------------------------------------------------
     def latencies(self) -> np.ndarray:
-        """E2E latencies of completed invocations."""
+        """E2E latencies of completed invocations (full retention only).
+
+        A ``retention="sketch"`` run dropped the per-invocation records by
+        design; callers that need distribution shape there must go through
+        :meth:`latency_percentile` / ``latency_stats`` instead.
+        """
+        if self.retention == "sketch":
+            raise RuntimeError(
+                "latencies() requires retention='full'; a sketch-retention "
+                "run keeps only the streaming latency sketch "
+                "(use latency_percentile()/latency_stats)"
+            )
         return np.array([inv.latency for inv in self.invocations if inv.finished])
 
     def violation_ratio(self) -> float:
         """Fraction of requests exceeding the SLA (unfinished and
         timed-out invocations count as violations too)."""
-        total = len(self.invocations) + self.unfinished + self.timed_out
+        total = self.n_completed + self.unfinished + self.timed_out
         if total == 0:
             return 0.0
-        lat = self.latencies()
-        violations = (
-            int((lat > self.sla + 1e-9).sum()) + self.unfinished + self.timed_out
-        )
+        if self.retention == "sketch":
+            violations = self.sla_violation_count + self.unfinished + self.timed_out
+        else:
+            lat = self.latencies()
+            violations = (
+                int((lat > self.sla + 1e-9).sum()) + self.unfinished + self.timed_out
+            )
         return violations / total
 
     def availability(self) -> float:
@@ -125,10 +283,10 @@ class RunMetrics:
         retry budgets (``timed_out``) and those still open at the horizon
         (``unfinished``) both count against availability.
         """
-        total = len(self.invocations) + self.unfinished + self.timed_out
+        total = self.n_completed + self.unfinished + self.timed_out
         if total == 0:
             return 1.0
-        return len(self.invocations) / total
+        return self.n_completed / total
 
     def goodput(self) -> float:
         """Fraction of arrivals served *within* the SLA (1.0 on empty runs).
@@ -136,11 +294,14 @@ class RunMetrics:
         The complement of :meth:`violation_ratio`: completed-on-time
         divided by every arrival, including timed-out and unfinished ones.
         """
-        total = len(self.invocations) + self.unfinished + self.timed_out
+        total = self.n_completed + self.unfinished + self.timed_out
         if total == 0:
             return 1.0
-        lat = self.latencies()
-        within = int((lat <= self.sla + 1e-9).sum())
+        if self.retention == "sketch":
+            within = self.within_sla_count
+        else:
+            lat = self.latencies()
+            within = int((lat <= self.sla + 1e-9).sum())
         return within / total
 
     def latency_percentile(self, q: float) -> float:
@@ -149,7 +310,11 @@ class RunMetrics:
         Returns ``nan`` when no invocation completed, matching
         :meth:`summary`'s empty-run convention — a zero-traffic run is a
         legitimate outcome (idle presets, short horizons), not an error.
+        Under ``retention="sketch"`` the estimate comes from the streaming
+        sketch (exact for small runs, bounded rank error past that).
         """
+        if self.retention == "sketch":
+            return self.latency_sketch.quantile(q)
         lat = self.latencies()
         if lat.size == 0:
             return float("nan")
@@ -165,7 +330,7 @@ class RunMetrics:
 
     def initializations_per_invocation(self) -> float:
         """Mean container initializations per completed invocation."""
-        n = len(self.invocations)
+        n = self.n_completed
         return self.initializations / n if n else 0.0
 
     # -- fleet dynamics ----------------------------------------------------------
@@ -178,13 +343,22 @@ class RunMetrics:
         return np.array(self.arrival_samples, dtype=float).reshape(-1, 2)
 
     def summary(self) -> dict[str, float]:
-        """One-line numeric summary used by benches and examples."""
-        lat = self.latencies()
+        """One-line numeric summary used by benches and examples.
+
+        Identical key set across retention modes; under ``sketch`` the
+        latency entries come from the streaming accumulators (NaN on a
+        zero-completion run, exactly like the empty-array path here).
+        """
+        if self.retention == "sketch":
+            mean_latency = self.latency_stats.mean
+        else:
+            lat = self.latencies()
+            mean_latency = float(lat.mean()) if lat.size else float("nan")
         return {
             "total_cost": self.total_cost(),
             "violation_ratio": self.violation_ratio(),
-            "invocations": float(len(self.invocations)),
-            "mean_latency": float(lat.mean()) if lat.size else float("nan"),
+            "invocations": float(self.n_completed),
+            "mean_latency": mean_latency,
             "p50_latency": self.latency_percentile(50),
             "p99_latency": self.latency_percentile(99),
             "reinit_fraction": self.reinit_fraction(),

@@ -55,6 +55,7 @@ class MultiAppSimulator:
         recorder: "Recorder | None" = None,
         init_failure_rate: float = 0.0,
         faults: "FaultPlan | None" = None,
+        retention: str = "full",
     ) -> None:
         if not deployments:
             raise ValueError("need at least one deployment")
@@ -85,6 +86,7 @@ class MultiAppSimulator:
                 ),
                 noisy=noisy,
                 init_failure_rate=init_failure_rate,
+                retention=retention,
             )
             for i, d in enumerate(deployments)
         ]

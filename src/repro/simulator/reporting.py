@@ -32,15 +32,19 @@ def format_cost_breakdown(metrics: RunMetrics) -> str:
 
 def format_function_table(metrics: RunMetrics) -> str:
     """Per-function fleet summary: instances, billed time, cost, batches."""
-    per_fn: dict[str, dict[str, float]] = defaultdict(
-        lambda: {"instances": 0, "lifetime": 0.0, "cost": 0.0, "served": 0}
-    )
-    for usage in metrics.instances:
-        row = per_fn[usage.function]
-        row["instances"] += 1
-        row["lifetime"] += usage.lifetime
-        row["cost"] += usage.cost
-        row["served"] += usage.invocations_served
+    if metrics.retention == "sketch":
+        # Sketch retention pre-folds exactly this table's rollup.
+        per_fn: dict[str, dict[str, float]] = dict(metrics.billing.per_function)
+    else:
+        per_fn = defaultdict(
+            lambda: {"instances": 0, "lifetime": 0.0, "cost": 0.0, "served": 0}
+        )
+        for usage in metrics.instances:
+            row = per_fn[usage.function]
+            row["instances"] += 1
+            row["lifetime"] += usage.lifetime
+            row["cost"] += usage.cost
+            row["served"] += usage.invocations_served
     lines = [
         f"{'function':<14} {'instances':>9} {'billed':>9} {'cost':>9} {'served':>7}"
     ]
@@ -53,10 +57,32 @@ def format_function_table(metrics: RunMetrics) -> str:
     return "\n".join(lines)
 
 
+def format_latency_quantiles(metrics: RunMetrics) -> str:
+    """Latency quantile summary from the streaming sketch (sketch mode).
+
+    Sketch-retention runs drop per-invocation records, so a histogram is
+    unavailable; the sketch answers quantile queries instead, within its
+    documented rank-error bound.
+    """
+    sketch = metrics.latency_sketch
+    if sketch is None or len(sketch) == 0:
+        return "(no completed invocations)"
+    qs = (50, 90, 95, 99, 99.9)
+    parts = [f"p{q:g} {sketch.quantile(q):.2f}s" for q in qs]
+    return (
+        f"latency quantiles (streaming sketch, n={len(sketch)}, "
+        f"rank error <= {sketch.rank_error_bound:.2%}):\n  "
+        + "  ".join(parts)
+        + f"\n  min {sketch.minimum:.2f}s  max {sketch.maximum:.2f}s"
+    )
+
+
 def format_latency_histogram(
     metrics: RunMetrics, *, bins: int = 10, width: int = 40
 ) -> str:
     """ASCII histogram of E2E latencies with the SLA marked."""
+    if metrics.retention == "sketch":
+        return format_latency_quantiles(metrics)
     lat = metrics.latencies()
     if lat.size == 0:
         return "(no completed invocations)"
@@ -75,19 +101,26 @@ def format_latency_histogram(
 
 
 def format_report(metrics: RunMetrics) -> str:
-    """The full report: header, cost, fleet table, histogram, violations."""
-    lat = metrics.latencies()
+    """The full report: header, cost, fleet table, histogram, violations.
+
+    Works for both retention modes: sketch-retention runs render latency
+    figures from the streaming accumulators (same layout, approximate
+    percentiles) and a quantile summary instead of the histogram.
+    """
+    summary = metrics.summary()
+    n_completed = metrics.n_completed
     header = (
         f"run report — app={metrics.app} policy={metrics.policy} "
         f"sla={metrics.sla}s duration={metrics.duration:.0f}s\n"
-        f"invocations: {len(metrics.invocations)} completed, "
+        f"invocations: {n_completed} completed, "
         f"{metrics.unfinished} unfinished, {metrics.timed_out} timed out\n"
         f"violations {metrics.violation_ratio():.1%}, "
         f"availability {metrics.availability():.1%}, "
         f"goodput {metrics.goodput():.1%}\n"
-        f"latency: mean {lat.mean():.2f}s p50 {np.percentile(lat, 50):.2f}s "
-        f"p99 {np.percentile(lat, 99):.2f}s"
-        if lat.size
+        f"latency: mean {summary['mean_latency']:.2f}s "
+        f"p50 {summary['p50_latency']:.2f}s "
+        f"p99 {summary['p99_latency']:.2f}s"
+        if n_completed
         else f"run report — app={metrics.app} policy={metrics.policy} (no traffic)"
     )
     reinits = (

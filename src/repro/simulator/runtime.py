@@ -129,6 +129,7 @@ class Runtime:
         noisy: bool = True,
         init_failure_rate: float = 0.0,
         gpu_contention: float = 0.0,
+        retention: str = "full",
     ) -> Gateway:
         """Register one application on this runtime; returns its gateway."""
         if any(gw.app.name == app.name for gw in self.gateways):
@@ -146,6 +147,7 @@ class Runtime:
             noisy=noisy,
             init_failure_rate=init_failure_rate,
             gpu_contention=gpu_contention,
+            retention=retention,
         )
         self.gateways.append(gateway)
         return gateway

@@ -102,12 +102,23 @@ class RunStarted(SimEvent):
 
 @dataclass(frozen=True)
 class RunFinished(SimEvent):
-    """The gateway finalized: fleet torn down, metrics sealed."""
+    """The gateway finalized: fleet torn down, metrics sealed.
+
+    ``completed`` is the exact completed-invocation count.
+    ``latency_sketch`` is non-empty only for ``retention="sketch"`` runs:
+    the flat ``(mean, count, ...)`` centroid snapshot of the streaming
+    latency sketch (see
+    :meth:`repro.metrics.sketch.QuantileSketch.to_flat`), letting trace
+    consumers answer quantile queries for runs whose per-invocation
+    events were the only other record of the distribution.
+    """
 
     type: ClassVar[str] = "run_finished"
 
     duration: float
     unfinished: int
+    completed: int = 0
+    latency_sketch: tuple[float, ...] = ()
 
 
 # --------------------------------------------------------------- invocations
@@ -395,14 +406,22 @@ EVENT_SCHEMA: dict[str, dict[str, tuple[type, ...]]] = {
     for tag, cls in EVENT_TYPES.items()
 }
 
+#: ``type`` tag -> names of tuple-annotated fields (JSON lists round-trip
+#: back to tuples so decoded events compare equal to the originals).
+_TUPLE_FIELDS: dict[str, tuple[str, ...]] = {
+    tag: tuple(
+        f.name for f in fields(cls) if str(f.type).startswith("tuple")
+    )
+    for tag, cls in EVENT_TYPES.items()
+}
+
 
 def to_dict(event: SimEvent) -> dict[str, Any]:
     """Flat JSON-ready dict with the event's ``type`` tag first."""
     d: dict[str, Any] = {"type": event.type}
     d.update(dataclasses.asdict(event))
-    functions = d.get("functions")
-    if isinstance(functions, tuple):
-        d["functions"] = list(functions)
+    for name in _TUPLE_FIELDS[event.type]:
+        d[name] = list(d[name])
     return d
 
 
@@ -413,8 +432,9 @@ def from_dict(data: Mapping[str, Any]) -> SimEvent:
     if tag not in EVENT_TYPES:
         raise ValueError(f"unknown event type {tag!r}")
     cls = EVENT_TYPES[tag]
-    if "functions" in payload:
-        payload["functions"] = tuple(payload["functions"])
+    for name in _TUPLE_FIELDS[tag]:
+        if name in payload:
+            payload[name] = tuple(payload[name])
     return cls(**payload)
 
 

@@ -1,0 +1,281 @@
+"""Differential tests: retention="sketch" vs retention="full".
+
+The scale plane's correctness contract (ISSUE 5): switching a run to
+sketch retention changes *nothing* about the simulation — the event
+sequence, every conservation counter, billing, availability and goodput
+are bit-identical to a full-retention run of the same scenario.  Only
+latency *distribution* queries become approximate, within the sketch's
+documented rank-error bound (and exactly equal while the run is small
+enough for the sketch's exact regime).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dag import image_query
+from repro.experiments.parallel import CellSpec, EnvSpec, MultiAppCellSpec, run_cell
+from repro.experiments.runners import build_environment
+from repro.experiments.scenario import ScenarioSpec
+from repro.faults.plan import ExecutionFault, FaultPlan, ResilienceSpec
+from repro.hardware import Backend
+from repro.metrics import QuantileSketch
+from repro.simulator import ServerlessSimulator
+from repro.simulator.metrics import RunMetrics
+from repro.telemetry.events import from_dict, to_dict, validate_event
+from repro.telemetry.recorder import TraceRecorder
+from repro.workload import Trace
+
+#: Summary fields that must be bit-identical between retention modes.
+#: Latency percentiles are included too: these runs stay inside the
+#: sketch's exact regime (n <= compression), where quantile queries are
+#: numpy-identical.
+EXACT_FIELDS = (
+    "total_cost",
+    "violation_ratio",
+    "invocations",
+    "mean_latency",
+    "p50_latency",
+    "p99_latency",
+    "reinit_fraction",
+    "cpu_cost",
+    "gpu_cost",
+    "availability",
+    "goodput",
+)
+
+#: RunMetrics counters that must match regardless of retention.
+COUNTERS = (
+    "unfinished",
+    "timed_out",
+    "stage_executions",
+    "cold_stage_executions",
+    "initializations",
+    "failed_initializations",
+    "stage_retries",
+    "failed_executions",
+    "fallbacks",
+)
+
+
+def _run(env, policy: str, retention: str, *, faults=None) -> RunMetrics:
+    return ServerlessSimulator(
+        env.app,
+        env.trace,
+        env.make_policy(policy),
+        seed=3,
+        faults=faults,
+        retention=retention,
+    ).run()
+
+
+def assert_equivalent(full: RunMetrics, sketch: RunMetrics) -> None:
+    fs, ss = full.summary(), sketch.summary()
+    for key in EXACT_FIELDS:
+        a, b = fs[key], ss[key]
+        assert a == b or (math.isnan(a) and math.isnan(b)), (
+            f"{key}: full={a!r} sketch={b!r}"
+        )
+    for key in COUNTERS:
+        assert getattr(full, key) == getattr(sketch, key), key
+    assert full.n_completed == sketch.n_completed
+    assert full.cost_breakdown() == sketch.cost_breakdown()
+    assert full.backend_cost(Backend.CPU) == sketch.backend_cost(Backend.CPU)
+    assert full.backend_cost(Backend.GPU) == sketch.backend_cost(Backend.GPU)
+    # The point of sketch mode: no per-invocation or per-instance records.
+    assert sketch.invocations == []
+    assert sketch.instances == []
+    assert len(full.invocations) == full.n_completed
+
+
+@pytest.fixture(scope="module")
+def env():
+    return build_environment("image-query", duration=150.0)
+
+
+class TestCleanRunParity:
+    @pytest.mark.parametrize("policy", ["grandslam", "smiless"])
+    def test_summary_bit_identical(self, env, policy):
+        assert_equivalent(_run(env, policy, "full"), _run(env, policy, "sketch"))
+
+    def test_conservation(self, env):
+        m = _run(env, "grandslam", "sketch")
+        arrivals = m.n_completed + m.unfinished + m.timed_out
+        assert arrivals == len(env.trace)
+
+
+class TestChaosRunParity:
+    def test_faults_and_timeouts_match(self, env):
+        # Execution faults force retries; the deadline factor converts
+        # some of the resulting slow invocations into timeouts — the
+        # hardest counters to keep identical across retention modes.
+        plan = FaultPlan(
+            execution_faults=(ExecutionFault(rate=0.25),),
+            resilience=ResilienceSpec(
+                max_retries=6, retry_backoff=0.3, deadline_factor=4.0
+            ),
+        )
+        full = _run(env, "grandslam", "full", faults=plan)
+        sketch = _run(env, "grandslam", "sketch", faults=plan)
+        assert full.stage_retries > 0
+        assert_equivalent(full, sketch)
+
+
+class TestZeroCompletionRegression:
+    """latency_percentile/summary on an empty sketch run must be NaN,
+    exactly like full retention's empty-array path."""
+
+    def test_direct_metrics_nan(self):
+        for retention in ("full", "sketch"):
+            m = RunMetrics(app="a", policy="p", sla=2.0, retention=retention)
+            assert math.isnan(m.latency_percentile(50))
+            assert math.isnan(m.latency_percentile(99))
+            s = m.summary()
+            assert math.isnan(s["mean_latency"])
+            assert math.isnan(s["p50_latency"])
+            assert math.isnan(s["p99_latency"])
+            assert s["invocations"] == 0.0
+            assert m.availability() == 1.0
+            assert m.goodput() == 1.0
+            assert m.violation_ratio() == 0.0
+
+    def test_empty_trace_simulation(self, env):
+        trace = Trace(np.empty(0), duration=30.0)
+        for retention in ("full", "sketch"):
+            m = ServerlessSimulator(
+                env.app,
+                trace,
+                env.make_policy("grandslam"),
+                seed=3,
+                retention=retention,
+            ).run()
+            assert m.n_completed == 0
+            assert math.isnan(m.latency_percentile(50))
+            assert math.isnan(m.summary()["mean_latency"])
+
+
+class TestModeGuards:
+    def test_latencies_raises_in_sketch_mode(self):
+        m = RunMetrics(app="a", policy="p", sla=2.0, retention="sketch")
+        with pytest.raises(RuntimeError, match="retention='full'"):
+            m.latencies()
+
+    def test_invalid_retention_rejected(self):
+        with pytest.raises(ValueError, match="retention"):
+            RunMetrics(app="a", policy="p", sla=2.0, retention="bogus")
+        with pytest.raises(ValueError, match="retention"):
+            ScenarioSpec(
+                apps=("image-query",), policies=("grandslam",), retention="bogus"
+            )
+
+
+class TestGridParity:
+    def test_cell_spec_retention(self):
+        spec = EnvSpec(
+            app="image-query", preset="steady", sla=2.0, duration=120.0, seed=0
+        )
+        results = {
+            retention: run_cell(
+                CellSpec(
+                    env=spec, policy="grandslam", sim_seed=3, retention=retention
+                )
+            )
+            for retention in ("full", "sketch")
+        }
+        full, sketch = results["full"].summary, results["sketch"].summary
+        for key in EXACT_FIELDS:
+            a, b = full[key], sketch[key]
+            assert a == b or (math.isnan(a) and math.isnan(b)), key
+
+    def test_multiapp_cell_retention(self):
+        envs = tuple(
+            EnvSpec(app=app, preset="steady", sla=2.0, duration=100.0, seed=0)
+            for app in ("image-query", "amber-alert")
+        )
+        results = {
+            retention: run_cell(
+                MultiAppCellSpec(
+                    envs=envs, policy="grandslam", sim_seed=3, retention=retention
+                )
+            )
+            for retention in ("full", "sketch")
+        }
+        assert set(results["full"].summary) == set(results["sketch"].summary)
+        for app, full in results["full"].summary.items():
+            sketch = results["sketch"].summary[app]
+            for key in EXACT_FIELDS:
+                a, b = full[key], sketch[key]
+                assert a == b or (math.isnan(a) and math.isnan(b)), (app, key)
+
+
+class TestTelemetryRoundTrip:
+    def test_run_finished_carries_sketch(self, env):
+        rec = TraceRecorder()
+        m = ServerlessSimulator(
+            env.app,
+            env.trace,
+            env.make_policy("grandslam"),
+            seed=3,
+            retention="sketch",
+            recorder=rec,
+        ).run()
+        finished = [e for e in rec.events if type(e).__name__ == "RunFinished"]
+        assert len(finished) == 1
+        event = finished[0]
+        assert event.completed == m.n_completed
+        assert validate_event(to_dict(event)) == []
+        # JSON round-trip preserves the snapshot; the rebuilt sketch
+        # answers the same quantile queries as the live one (bit-equal
+        # here: the run is inside the exact regime).
+        restored = from_dict(to_dict(event))
+        assert restored.latency_sketch == event.latency_sketch
+        rebuilt = QuantileSketch.from_flat(restored.latency_sketch)
+        assert rebuilt.count == m.n_completed
+        assert rebuilt.quantile(50) == pytest.approx(
+            m.latency_percentile(50), rel=1e-9
+        )
+        assert rebuilt.quantile(99) == pytest.approx(
+            m.latency_percentile(99), rel=1e-9
+        )
+
+    def test_full_mode_emits_empty_sketch(self):
+        env = build_environment("image-query", duration=60.0)
+        rec = TraceRecorder()
+        ServerlessSimulator(
+            env.app,
+            env.trace,
+            env.make_policy("grandslam"),
+            seed=3,
+            recorder=rec,
+        ).run()
+        (event,) = [e for e in rec.events if type(e).__name__ == "RunFinished"]
+        assert event.latency_sketch == ()
+
+
+def test_large_run_quantiles_within_bound():
+    # Past the exact regime: sketch quantiles sit within the documented
+    # rank-error bound of the full run's retained latencies.
+    env = build_environment("image-query", preset="flood", duration=120.0)
+    full = _run(env, "grandslam", "full")
+    sketch = _run(env, "grandslam", "sketch")
+    lat = np.sort(full.latencies())
+    n = lat.size
+    assert n > 400  # comfortably past compression=200
+    bound = sketch.latency_sketch.rank_error_bound
+    for q in (50.0, 90.0, 99.0):
+        value = sketch.latency_percentile(q)
+        lo = np.searchsorted(lat, value, side="left") / n
+        hi = np.searchsorted(lat, value, side="right") / n
+        target = q / 100.0
+        err = 0.0 if lo <= target <= hi else min(abs(target - lo), abs(target - hi))
+        assert err <= bound + 1e-12, (q, err, bound)
+
+
+def test_mode_constant_exported():
+    from repro.simulator.metrics import RETENTION_MODES
+
+    assert RETENTION_MODES == ("full", "sketch")
+    assert image_query().name  # app builder importable (sanity for fixtures)

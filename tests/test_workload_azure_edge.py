@@ -1,0 +1,147 @@
+"""Edge cases for the workload layer: traces and the Azure-like generator.
+
+Covers the awkward inputs the scale plane must digest without surprises —
+duplicate timestamps, out-of-order rows, empty windows, empty traces —
+plus the streamed-buffer contract of :meth:`AzureLikeWorkload.generate`:
+the geometrically-grown numpy buffer must reproduce the historical
+list-based generator bit for bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng
+from repro.workload import AzureLikeWorkload, Trace
+from repro.workload.azure import PRESETS
+
+
+class TestTraceEdgeCases:
+    def test_out_of_order_rows_sorted(self):
+        trace = Trace([5.0, 1.0, 3.0], duration=10.0)
+        assert list(trace.times) == [1.0, 3.0, 5.0]
+
+    def test_duplicate_timestamps_kept(self):
+        trace = Trace([2.0, 2.0, 2.0, 7.0], duration=10.0)
+        assert len(trace) == 4
+        assert list(trace.times) == [2.0, 2.0, 2.0, 7.0]
+        counts = trace.counts_per_window(1.0)
+        assert counts[2] == 3 and counts[7] == 1
+
+    def test_empty_windows_zero_filled(self):
+        trace = Trace([0.5, 8.5], duration=10.0)
+        counts = trace.counts_per_window(1.0)
+        assert counts.shape == (10,)
+        assert counts.sum() == 2
+        assert list(np.flatnonzero(counts)) == [0, 8]
+
+    def test_empty_trace(self):
+        trace = Trace(np.empty(0), duration=5.0)
+        assert len(trace) == 0
+        assert trace.counts_per_window(1.0).sum() == 0
+        assert trace.inter_arrival_times().size == 0
+
+    def test_duration_before_last_arrival_rejected(self):
+        with pytest.raises(ValueError):
+            Trace([1.0, 9.0], duration=5.0)
+
+    def test_non_finite_and_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Trace([1.0, float("nan")], duration=10.0)
+        with pytest.raises(ValueError):
+            Trace([-0.5, 1.0], duration=10.0)
+
+    def test_times_read_only(self):
+        trace = Trace([1.0, 2.0], duration=5.0)
+        with pytest.raises(ValueError):
+            trace.times[0] = 0.0
+
+    def test_variance_to_mean_zero_on_silence(self):
+        trace = Trace(np.empty(0), duration=10.0)
+        assert trace.variance_to_mean_ratio(1.0) == 0.0
+
+
+class TestStreamedGeneration:
+    """`generate` streams into a growable numpy buffer; the draw sequence
+    — hence the trace — must match the historical list-based loop."""
+
+    @staticmethod
+    def _reference_generate(pattern, seed, duration):
+        # The pre-scale-plane generator: a Python list of boxed floats.
+        rng = ensure_rng(seed)
+        shape = 1.0 / pattern.gap_cv**2
+        times = []
+        t = 0.0
+        while True:
+            local_mean = pattern.gap_at(t)
+            t += float(rng.gamma(shape, local_mean / shape))
+            if t >= duration:
+                break
+            times.append(t)
+        base = np.asarray(times) if times else np.empty(0)
+        if base.size:
+            base = base[~pattern.in_idle_phase(base)]
+        pieces = [base]
+        if pattern.burst_frequency > 0 and pattern.burst_size > 0:
+            n_bursts = rng.poisson(pattern.burst_frequency * duration)
+            for start in np.sort(rng.random(n_bursts) * duration):
+                span = min(pattern.burst_spread, duration - start)
+                if span <= 0:
+                    continue
+                size = rng.poisson(
+                    pattern.burst_size * (1.0 + rng.pareto(3.0))
+                )
+                if size:
+                    offsets = rng.triangular(0.0, 0.45 * span, span, size)
+                    pieces.append(start + np.sort(offsets))
+        return Trace(np.concatenate(pieces), duration=duration)
+
+    @pytest.mark.parametrize("preset", ["steady", "bursty", "sparse", "flood"])
+    def test_bit_identical_to_list_based_reference(self, preset):
+        pattern = PRESETS[preset]
+        duration = 120.0
+        got = AzureLikeWorkload(pattern=pattern, seed=42).generate(duration)
+        want = self._reference_generate(pattern, 42, duration)
+        assert got.times.shape == want.times.shape
+        assert np.array_equal(got.times, want.times)
+
+    def test_buffer_growth_past_initial_capacity(self):
+        # flood at 600 s yields ~4000 arrivals — several buffer doublings
+        # past the initial 1024 slots.
+        trace = AzureLikeWorkload.preset("flood", seed=1).generate(600.0)
+        assert len(trace) > 2048
+        assert np.all(np.diff(trace.times) >= 0)
+        assert trace.times[-1] < 600.0
+
+    def test_tiny_duration_can_be_empty(self):
+        # Duration far below the mean gap: usually no arrivals, and the
+        # generator must return a valid empty trace rather than crash.
+        trace = AzureLikeWorkload.preset("sparse", seed=0).generate(0.001)
+        assert len(trace) == 0
+        assert trace.duration == 0.001
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(KeyError, match="unknown preset"):
+            AzureLikeWorkload.preset("tsunami")
+
+    def test_flood_preset_rate(self):
+        # The macro-bench regime: ~1/0.15 ≈ 6.7 arrivals/s per app.
+        pattern = PRESETS["flood"]
+        assert pattern.mean_gap == pytest.approx(0.15)
+        trace = AzureLikeWorkload.preset("flood", seed=3).generate(300.0)
+        rate = len(trace) / 300.0
+        assert 5.0 < rate < 8.5
+
+    def test_generate_counts_shape(self):
+        counts = AzureLikeWorkload.preset("steady", seed=0).generate_counts(
+            60.0, window=2.0
+        )
+        assert counts.shape == (30,)
+        assert counts.dtype.kind in "iu" or counts.dtype.kind == "f"
+        assert counts.sum() > 0
+
+    def test_same_seed_reproducible(self):
+        a = AzureLikeWorkload.preset("bursty", seed=9).generate(200.0)
+        b = AzureLikeWorkload.preset("bursty", seed=9).generate(200.0)
+        assert np.array_equal(a.times, b.times)
