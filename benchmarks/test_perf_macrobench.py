@@ -11,11 +11,14 @@ Two modes:
 - **full** (default): a 1,000,000-invocation sketch run plus a
   100,000-invocation sketch run; asserts the *scale plane contract* —
   peak RSS stays flat as the trace grows 10x (bounded-memory retention)
-  — and an in-process 100k-aggregate co-run checks sketch p50/p99
-  against full-retention reference latencies within the sketch's
-  documented rank-error bound;
+  — plus a 1,000,000-invocation run under the ``smiless`` policy
+  (``BENCH_macro_smiless.json``) proving the optimized policy path
+  completes at scale, and an in-process 100k-aggregate co-run checks
+  sketch p50/p99 against full-retention reference latencies within the
+  sketch's documented rank-error bound;
 - **smoke** (``SMILESS_BENCH_SMOKE=1``): a 100,000-invocation sketch run
-  only.  When a recorded smoke baseline exists
+  plus a 20,000-invocation ``smiless`` co-run.  When a recorded smoke
+  baseline exists
   (``benchmarks/results/BENCH_macro_smoke_baseline.json``), the run
   fails if simulation wall-clock regresses past ``MAX_SMOKE_REGRESSION``
   times the recording.  Used by CI.
@@ -33,6 +36,7 @@ import numpy as np
 
 REPO_ROOT = pathlib.Path(__file__).parent.parent
 BENCH_JSON = REPO_ROOT / "BENCH_macro.json"
+SMILESS_BENCH_JSON = REPO_ROOT / "BENCH_macro_smiless.json"
 SMOKE_BASELINE_JSON = (
     REPO_ROOT / "benchmarks" / "results" / "BENCH_macro_smoke_baseline.json"
 )
@@ -50,7 +54,9 @@ MAX_SMOKE_REGRESSION = 1.3
 MAX_RSS_GROWTH = 1.35
 
 
-def _run_bench(invocations: int, out: pathlib.Path) -> dict:
+def _run_bench(
+    invocations: int, out: pathlib.Path, policy: str = "grandslam"
+) -> dict:
     """Run ``repro bench --macro`` in a fresh subprocess; return its record."""
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO_ROOT / "src")
@@ -63,6 +69,8 @@ def _run_bench(invocations: int, out: pathlib.Path) -> dict:
             "--macro",
             "--invocations",
             str(invocations),
+            "--policy",
+            policy,
             "--out",
             str(out),
         ],
@@ -73,9 +81,10 @@ def _run_bench(invocations: int, out: pathlib.Path) -> dict:
     return json.loads(out.read_text())
 
 
-def _check_record(record: dict, invocations: int) -> None:
+def _check_record(record: dict, invocations: int, policy: str = "grandslam") -> None:
     assert record["generated_by"] == "repro bench --macro"
     assert record["invocations_target"] == invocations
+    assert record["policy"] == policy
     assert record["retention"] == "sketch"
     # The flood regime is stable (no unbounded queueing), so nearly every
     # arrival completes within the horizon.
@@ -94,6 +103,18 @@ def test_macro_bench(tmp_path):
             f"wall={record['wall_clock_seconds']:.1f}s "
             f"rss={record['peak_rss_mb']:.0f}MB"
         )
+        # The policy path at macro scale: a short smiless co-run must
+        # complete, exercising prediction caching, vectorized
+        # co-optimization and directive reuse under the flood preset.
+        smiless = _run_bench(
+            20_000, tmp_path / "macro_smiless_smoke.json", policy="smiless"
+        )
+        _check_record(smiless, 20_000, policy="smiless")
+        print(
+            f"[perf macrobench] smiless smoke "
+            f"wall={smiless['wall_clock_seconds']:.1f}s "
+            f"({smiless['events_per_second']:,.0f} events/s)"
+        )
         if SMOKE_BASELINE_JSON.exists():
             recorded = json.loads(SMOKE_BASELINE_JSON.read_text())
             limit = MAX_SMOKE_REGRESSION * recorded["wall_clock_seconds"]
@@ -109,6 +130,17 @@ def test_macro_bench(tmp_path):
     _check_record(small, 100_000)
     big = _run_bench(1_000_000, BENCH_JSON)
     _check_record(big, 1_000_000)
+    # Tentpole record: one million invocations through the *policy* path
+    # (smiless end-to-end: predictors, co-optimization, directives) in
+    # bounded memory, persisted at the repo root alongside BENCH_macro.json.
+    smiless_big = _run_bench(1_000_000, SMILESS_BENCH_JSON, policy="smiless")
+    _check_record(smiless_big, 1_000_000, policy="smiless")
+    print(
+        f"[perf macrobench] smiless 1M: "
+        f"wall={smiless_big['wall_clock_seconds']:.1f}s "
+        f"rss={smiless_big['peak_rss_mb']:.0f}MB "
+        f"({smiless_big['events_per_second']:,.0f} events/s)"
+    )
 
     # The tentpole assert: memory does not scale with the trace.
     growth = big["peak_rss_mb"] / small["peak_rss_mb"]

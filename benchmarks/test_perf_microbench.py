@@ -46,7 +46,19 @@ APPS = ("image-query", "amber-alert", "voice-assistant")
 POLICIES = ("smiless", "orion", "icebreaker", "grandslam")
 DURATION = 40.0 if SMOKE else 150.0
 REPEATS = 1 if SMOKE else 2
-PARALLEL_WORKERS = 4
+#: Process-pool size, clamped to the host: 4 workers on a 1-core machine
+#: only add pool overhead (a recorded run showed 20.3 s parallel against
+#: 7.1 s serial on cpu_count 1), so the pool never exceeds the CPU count
+#: and the parallel pass is skipped entirely where it cannot win.
+PARALLEL_WORKERS = min(4, os.cpu_count() or 1)
+
+#: Throughput floor for the policy path: every smiless cell must reach at
+#: least this fraction of the same app's orion events/s, so the directive
+#: path cannot silently regress back to its pre-optimization ~100x gap.
+#: Enforced in smoke mode (the CI regression gate): at smoke duration the
+#: margin is wide (~2.5x the floor), while full-mode cells amortize orion's
+#: fixed setup over more events and sit within noise of the boundary.
+SMILESS_MIN_ORION_FRACTION = 0.2
 
 #: Wall-clock of this exact grid (3 apps x 4 policies, preset steady,
 #: sla 2.0, duration 150 s, env seed 0, sim seed 3) on the pre-optimization
@@ -91,21 +103,25 @@ def test_perf_microbench():
         serial_walls.append(wall)
     serial_seconds = min(serial_walls)
 
-    parallel_seconds, parallel_results = _timed_grid(
-        cells, workers=PARALLEL_WORKERS
-    )
+    if PARALLEL_WORKERS >= 2:
+        parallel_seconds, parallel_results = _timed_grid(
+            cells, workers=PARALLEL_WORKERS
+        )
+        # Determinism contract: fanning the grid across processes changes
+        # nothing about any cell's outcome.
+        assert [r.summary for r in parallel_results] == [
+            r.summary for r in serial_results
+        ]
+        assert [r.spec for r in parallel_results] == [
+            r.spec for r in serial_results
+        ]
+        best_seconds = min(serial_seconds, parallel_seconds)
+    else:
+        # One usable core: the pool can only lose to serial, so skip it
+        # (noted in the JSON) rather than record a meaningless figure.
+        parallel_seconds = None
+        best_seconds = serial_seconds
 
-    # Determinism contract: fanning the grid across processes changes
-    # nothing about any cell's outcome.
-    assert [r.summary for r in parallel_results] == [
-        r.summary for r in serial_results
-    ]
-    assert [r.spec for r in parallel_results] == [r.spec for r in serial_results]
-
-    # On a single-core host the process pool cannot beat serial (workers
-    # re-train predictors the serial run shares via the in-process cache),
-    # so the tracked figure is the best configuration for this host.
-    best_seconds = min(serial_seconds, parallel_seconds)
     speedup = SEED_BASELINE_SECONDS / best_seconds if not SMOKE else None
 
     report = {
@@ -123,7 +139,14 @@ def test_perf_microbench():
         "serial_seconds": round(serial_seconds, 4),
         "serial_repeats": serial_walls,
         "parallel_workers": PARALLEL_WORKERS,
-        "parallel_seconds": round(parallel_seconds, 4),
+        "parallel_seconds": (
+            None if parallel_seconds is None else round(parallel_seconds, 4)
+        ),
+        "parallel_skipped": (
+            "single usable core: a process pool cannot beat serial"
+            if parallel_seconds is None
+            else None
+        ),
         "best_seconds": round(best_seconds, 4),
         "seed_baseline_seconds": None if SMOKE else SEED_BASELINE_SECONDS,
         "speedup_vs_seed": None if SMOKE else round(speedup, 2),
@@ -139,11 +162,30 @@ def test_perf_microbench():
         ],
     }
     BENCH_JSON.write_text(json.dumps(report, indent=2) + "\n")
+    parallel_note = (
+        "skipped" if parallel_seconds is None else f"{parallel_seconds:.2f}s"
+    )
     print(
         f"\n[perf microbench] mode={report['mode']} "
-        f"serial={serial_seconds:.2f}s parallel={parallel_seconds:.2f}s"
+        f"serial={serial_seconds:.2f}s parallel={parallel_note}"
         + ("" if SMOKE else f" speedup_vs_seed={speedup:.2f}x")
     )
+
+    # Policy-path throughput floor: smiless within 1/5 of orion per app.
+    if SMOKE:
+        events_per_second = {
+            (r.spec.env.app, r.spec.policy): r.events_per_second
+            for r in serial_results
+        }
+        for app in APPS:
+            smiless_eps = events_per_second[(app, "smiless")]
+            orion_eps = events_per_second[(app, "orion")]
+            floor = SMILESS_MIN_ORION_FRACTION * orion_eps
+            assert smiless_eps >= floor, (
+                f"smiless on {app} ran {smiless_eps:.1f} events/s, below "
+                f"{SMILESS_MIN_ORION_FRACTION:.0%} of orion's "
+                f"{orion_eps:.1f} events/s"
+            )
 
     if not SMOKE:
         assert speedup >= MIN_SPEEDUP, (

@@ -16,9 +16,10 @@ meet ``I_s`` even at batch 1, the fastest configuration is returned with
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Mapping
+
+import numpy as np
 
 from repro.hardware.configs import ConfigurationSpace, HardwareConfig
 from repro.profiler.profiles import FunctionProfile
@@ -66,18 +67,29 @@ class AutoScaler:
         """Largest batch size meeting ``budget`` on ``config`` (0 if none).
 
         Bisection over the integer range [1, max_batch]; the latency law is
-        monotone in B so the feasible set is a prefix.
+        monotone in B so the feasible set is a prefix.  Results are
+        memoized on the profile per (config, budget, max_batch): the
+        control loop re-solves the same bisection every window for the
+        standing budget shares.
         """
         check_positive("budget", budget)
+        key = ("mfb", config, budget, self.max_batch)
+        cached = profile._memo.get(key)
+        if cached is not None:
+            return cached
         if profile.inference_time(config, 1) > budget:
-            return 0
-        lo, hi = 1, self.max_batch
-        while lo < hi:
-            mid = (lo + hi + 1) // 2
-            if profile.inference_time(config, mid) <= budget:
-                lo = mid
-            else:
-                hi = mid - 1
+            lo = 0
+        else:
+            lo, hi = 1, self.max_batch
+            while lo < hi:
+                mid = (lo + hi + 1) // 2
+                if profile.inference_time(config, mid) <= budget:
+                    lo = mid
+                else:
+                    hi = mid - 1
+        if len(profile._memo) > 16384:  # unbounded-budget safety valve
+            profile._memo.clear()
+        profile._memo[key] = lo
         return lo
 
     def plan(
@@ -109,34 +121,41 @@ class AutoScaler:
             ]
             if quick:
                 candidates = quick
-        best: ScalingDecision | None = None
-        for config in candidates:
-            batch = self.max_feasible_batch(profile, config, budget)
-            if batch == 0:
-                continue
-            batch = min(batch, predicted_invocations)
-            instances = math.ceil(predicted_invocations / batch)
-            billed = inter_arrival + (
-                profile.init_time(config) if self.include_init_cost else 0.0
+        # Vectorized cost evaluation over the feasible candidates: the
+        # elementwise products reproduce the scalar ``instances * billed *
+        # unit_cost`` bit for bit, and the stable lexsort picks the same
+        # (cost, instances, first-seen) lexicographic minimum the
+        # one-at-a-time comparison loop did.
+        feasible = [
+            (c, b)
+            for c in candidates
+            if (b := self.max_feasible_batch(profile, c, budget)) > 0
+        ]
+        if feasible:
+            batches = np.minimum(
+                np.array([b for _, b in feasible]), predicted_invocations
             )
-            cost = instances * billed * config.unit_cost
-            decision = ScalingDecision(
+            instances_a = -(-predicted_invocations // batches)
+            billed = inter_arrival + (
+                np.array([profile.init_time(c) for c, _ in feasible])
+                if self.include_init_cost
+                else 0.0
+            )
+            costs = (
+                instances_a * billed
+            ) * np.array([c.unit_cost for c, _ in feasible])
+            sel = int(np.lexsort((instances_a, costs))[0])
+            config = feasible[sel][0]
+            batch = int(batches[sel])
+            return ScalingDecision(
                 function=function,
                 config=config,
                 batch=batch,
-                instances=instances,
+                instances=int(instances_a[sel]),
                 inference_time=profile.inference_time(config, batch),
-                cost=cost,
+                cost=float(costs[sel]),
                 feasible=True,
             )
-            if (
-                best is None
-                or decision.cost < best.cost
-                or (decision.cost == best.cost and decision.instances < best.instances)
-            ):
-                best = decision
-        if best is not None:
-            return best
         # No configuration meets the budget even at batch 1: scale out on the
         # fastest configuration (§V-B2 "even higher-end hardware fails").
         fastest = min(

@@ -102,5 +102,4 @@ class OptimizerEngine:
         """
         if predicted_invocations <= 1:
             return False
-        max_stage = max(p.inference_time for p in strategy.plans.values())
-        return predicted_invocations * max_stage > window
+        return predicted_invocations * strategy.max_stage_inference > window

@@ -25,9 +25,11 @@ import itertools
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+import numpy as np
+
 from repro.dag.graph import AppDAG
 from repro.hardware.configs import ConfigurationSpace, HardwareConfig
-from repro.core.prewarming import cost_per_invocation, evaluate_assignment
+from repro.core.prewarming import evaluate_assignment
 from repro.profiler.profiles import FunctionProfile
 from repro.utils.validation import check_positive
 
@@ -61,6 +63,12 @@ def build_candidates(
 ) -> dict[str, list[Candidate]]:
     """Per-function candidate lists sorted by adaptive cost (cheapest first).
 
+    Candidate evaluation is vectorized over the whole space: the adaptive
+    per-invocation cost (Eq. 5: ``(T+I)*U`` pre-warm, ``IT*U`` keep-alive)
+    is computed elementwise on the profile's config arrays and ordered with
+    a single stable lexsort — elementwise IEEE arithmetic and a stable sort
+    make the result bit-identical to the per-config scalar loop it replaced.
+
     Lists are memoized per (profile, space, inter_arrival, batch): the
     Auto-scaler rebuilds identical candidate sets on every control window
     for the same inter-arrival bucket.  Cached lists are shared — callers
@@ -78,23 +86,45 @@ def build_candidates(
         if cached is not None and cached[0] is space:
             out[fn] = cached[1]
             continue
-        cands = []
-        for cfg in space:
-            if not profile.supports(cfg.backend):
-                continue
-            t = profile.init_time(cfg)
-            i = profile.inference_time(cfg, batch)
-            cands.append(
-                Candidate(cfg, i, cost_per_invocation(t, i, inter_arrival, cfg.unit_cost))
-            )
-        if not cands:
+        configs, init_a, inf_a, unit_a = profile.config_arrays(space, batch)
+        if not configs:
             raise ValueError(f"no feasible configurations for function {fn!r}")
-        cands.sort(key=lambda c: (c.cost, c.inference_time))
+        cycle = init_a + inf_a
+        costs = np.where(
+            cycle < inter_arrival, cycle * unit_a, inter_arrival * unit_a
+        )
+        order = np.lexsort((inf_a, costs))
+        cands = [
+            Candidate(configs[j], float(inf_a[j]), float(costs[j]))
+            for j in order
+        ]
         if len(profile._memo) > 16384:  # unbounded-IT safety valve
             profile._memo.clear()
-        profile._memo[key] = (space, cands)
+        profile._memo[key] = (space, cands, inf_a[order], costs[order])
         out[fn] = cands
     return out
+
+
+def candidate_arrays(
+    functions: Sequence[str],
+    profiles: Mapping[str, FunctionProfile],
+    space: ConfigurationSpace,
+    inter_arrival: float,
+    batch: int = 1,
+) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+    """Sorted ``(inference_times, costs)`` arrays per function.
+
+    Aligned elementwise with the candidate lists of
+    :func:`build_candidates` (same memo entry), so array index ``j``
+    describes ``cands[fn][j]`` — the feasibility scans of the search can
+    then run as array comparisons.
+    """
+    build_candidates(functions, profiles, space, inter_arrival, batch)
+    key = ("cands", id(space), inter_arrival, batch)
+    return {
+        fn: (profiles[fn]._memo[key][2], profiles[fn]._memo[key][3])
+        for fn in functions
+    }
 
 
 class PathSearchOptimizer:
@@ -119,7 +149,10 @@ class PathSearchOptimizer:
             raise ValueError("path must contain at least one function")
         cands = build_candidates(functions, profiles, self.space, inter_arrival, batch)
         if self.top_k == 1:
-            return self._top1(list(functions), cands, sla)
+            arrays = candidate_arrays(
+                functions, profiles, self.space, inter_arrival, batch
+            )
+            return self._top1(list(functions), cands, arrays, sla)
         return self._beam(list(functions), cands, sla)
 
     # -- top-1 (the deployed variant) --------------------------------------
@@ -127,8 +160,17 @@ class PathSearchOptimizer:
         self,
         functions: list[str],
         cands: dict[str, list[Candidate]],
+        arrays: dict[str, tuple[np.ndarray, np.ndarray]],
         sla: float,
     ) -> SearchResult:
+        """Finalize functions in order, each on its cheapest feasible config.
+
+        The per-function feasibility scan over the cost-ordered candidates
+        is an array comparison: ``argmax`` of ``inference <= budget`` is
+        the first (cheapest) feasible index, exactly the candidate the
+        scalar scan stopped at, and the node count charges the same
+        ``index + 1`` examined candidates.
+        """
         nodes = 1
         # Root T^0: the all-cheapest combination (Eq. 6).
         cheapest = {fn: cands[fn][0] for fn in functions}
@@ -136,10 +178,15 @@ class PathSearchOptimizer:
         if latency <= sla:
             return self._result(functions, cheapest, sla, nodes)
 
-        fastest = {fn: min(cands[fn], key=lambda c: c.inference_time) for fn in functions}
-        min_latency = {fn: fastest[fn].inference_time for fn in functions}
+        fastest_idx = {
+            fn: int(np.argmin(arrays[fn][0])) for fn in functions
+        }
+        min_latency = {
+            fn: cands[fn][fastest_idx[fn]].inference_time for fn in functions
+        }
         if sum(min_latency.values()) > sla:
             # No combination can meet the SLA: report the fastest one.
+            fastest = {fn: cands[fn][fastest_idx[fn]] for fn in functions}
             return self._result(functions, fastest, sla, nodes + 1)
 
         chosen: dict[str, Candidate] = {}
@@ -148,13 +195,12 @@ class PathSearchOptimizer:
         for fn in functions:
             remaining_min -= min_latency[fn]
             budget = sla - prefix_latency - remaining_min
-            pick = None
-            for cand in cands[fn]:  # cost order: first feasible is cheapest
-                nodes += 1
-                if cand.inference_time <= budget:
-                    pick = cand
-                    break
-            assert pick is not None, "fastest config always fits the budget"
+            # Cost order: the first feasible candidate is the cheapest.
+            feasible = arrays[fn][0] <= budget
+            idx = int(np.argmax(feasible))
+            nodes += idx + 1
+            assert feasible[idx], "fastest config always fits the budget"
+            pick = cands[fn][idx]
             chosen[fn] = pick
             prefix_latency += pick.inference_time
         return self._result(functions, chosen, sla, nodes)

@@ -23,6 +23,7 @@ for the mapping.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Mapping
 
@@ -50,6 +51,15 @@ class ExecutionStrategy:
         """Per-function plan lookup."""
         return self.plans[function]
 
+    @functools.cached_property
+    def max_stage_inference(self) -> float:
+        """Slowest stage's inference time — the drain-rate bottleneck.
+
+        Cached: strategies are immutable, and the scaling check consults
+        this bound every control window.
+        """
+        return max(p.inference_time for p in self.plans.values())
+
 
 class WorkflowManager:
     """Optimizes a whole application by path decomposition and combining."""
@@ -73,6 +83,22 @@ class WorkflowManager:
     ) -> ExecutionStrategy:
         """Produce the execution strategy for ``app`` at the predicted IT."""
         target_sla = app.sla if sla is None else sla
+        # The downgrade/rebalance passes below re-evaluate the same
+        # assignments many times (~85% duplicates on the Fig. 7 DAGs);
+        # evaluate_assignment is pure given (assignment, it, sla, batch),
+        # all fixed within this call, so memoize on the config tuple.
+        eval_memo: dict[tuple[HardwareConfig, ...], PlanEvaluation] = {}
+
+        def evaluate(a: dict[str, HardwareConfig]) -> PlanEvaluation:
+            key = tuple(a[fn] for fn in app.function_names)
+            ev = eval_memo.get(key)
+            if ev is None:
+                ev = evaluate_assignment(
+                    app, a, profiles, inter_arrival, sla=target_sla, batch=batch
+                )
+                eval_memo[key] = ev
+            return ev
+
         paths = app.simple_paths()
         per_path = [
             self.optimizer.optimize_path(
@@ -96,15 +122,12 @@ class WorkflowManager:
                         assignment[fn] = new_cfg
 
         assignment = self._reduce_cost(
-            app, assignment, profiles, inter_arrival, target_sla, batch
+            app, assignment, profiles, inter_arrival, target_sla, batch, evaluate
         )
         assignment = self._rebalance(
-            app, assignment, profiles, inter_arrival, target_sla, batch
+            app, assignment, profiles, inter_arrival, target_sla, batch, evaluate
         )
-        evaluation = evaluate_assignment(
-            app, assignment, profiles, inter_arrival, sla=target_sla, batch=batch
-        )
-        return self._strategy(app, assignment, evaluation, inter_arrival)
+        return self._strategy(app, assignment, evaluate(assignment), inter_arrival)
 
     def _reduce_cost(
         self,
@@ -114,12 +137,14 @@ class WorkflowManager:
         inter_arrival: float,
         sla: float,
         batch: int,
+        evaluate,
     ) -> dict[str, HardwareConfig]:
         """Greedy downgrade pass: cheapest feasible config per function.
 
         Iterates over functions (most expensive first), re-checking the
         whole-DAG latency for each cheaper candidate; repeats until no
-        single-function downgrade helps.
+        single-function downgrade helps.  ``evaluate`` is the caller's
+        (memoized) assignment evaluator.
         """
         cands = build_candidates(
             app.function_names, profiles, self.space, inter_arrival, batch
@@ -128,9 +153,7 @@ class WorkflowManager:
         improved = True
         while improved:
             improved = False
-            ev = evaluate_assignment(
-                app, current, profiles, inter_arrival, sla=sla, batch=batch
-            )
+            ev = evaluate(current)
             if not ev.feasible:
                 break  # nothing to reclaim; keep the fastest combination
             order = sorted(
@@ -142,9 +165,7 @@ class WorkflowManager:
                     if cand.cost >= cur_cost or cand.config == current[fn]:
                         continue
                     trial = {**current, fn: cand.config}
-                    trial_ev = evaluate_assignment(
-                        app, trial, profiles, inter_arrival, sla=sla, batch=batch
-                    )
+                    trial_ev = evaluate(trial)
                     if trial_ev.feasible:
                         current = trial
                         improved = True
@@ -161,6 +182,7 @@ class WorkflowManager:
         inter_arrival: float,
         sla: float,
         batch: int,
+        evaluate,
         max_rounds: int = 8,
     ) -> dict[str, HardwareConfig]:
         """Pairwise upgrade/downgrade moves to escape greedy imbalance.
@@ -178,9 +200,7 @@ class WorkflowManager:
         current = assignment
 
         def total_cost(a: dict[str, HardwareConfig]) -> float:
-            return evaluate_assignment(
-                app, a, profiles, inter_arrival, sla=sla, batch=batch
-            ).cost
+            return evaluate(a).cost
 
         cur_cost = total_cost(current)
         for _ in range(max_rounds):
@@ -197,6 +217,7 @@ class WorkflowManager:
                         inter_arrival,
                         sla,
                         batch,
+                        evaluate,
                     )
                     c = total_cost(trial)
                     if c < cur_cost - 1e-12 and (

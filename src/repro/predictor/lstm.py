@@ -87,13 +87,16 @@ class LSTMLayer:
         for t in range(T):
             zx = xz[:, t, :] if xz is not None else x[:, t, :] @ WxT
             z = zx + h @ WhT + b
-            # One fused sigmoid for the adjacent i/f columns (elementwise, so
-            # splitting afterwards is bitwise identical to per-gate calls).
-            s_if = _sigmoid(z[:, : 2 * H])
-            i = s_if[:, :H]
-            f = s_if[:, H:]
+            # One fused sigmoid over the i/f/o columns gathered contiguously
+            # (elementwise, so gathering first and splitting afterwards is
+            # bitwise identical to per-gate calls at half the ufunc count).
+            s = _sigmoid(
+                np.concatenate([z[:, : 2 * H], z[:, 3 * H :]], axis=1)
+            )
+            i = s[:, :H]
+            f = s[:, H : 2 * H]
+            o = s[:, 2 * H :]
             g = np.tanh(z[:, 2 * H : 3 * H])
-            o = _sigmoid(z[:, 3 * H :])
             cache["hs_prev"].append(h)
             cache["cs_prev"].append(c)
             c = f * c + i * g
@@ -103,6 +106,43 @@ class LSTMLayer:
             cache["gates"].append((i, f, g, o))
             cache["tanh_cs"].append(tanh_c)
         return hs, cache
+
+    def last_hidden(self, x: np.ndarray) -> np.ndarray:
+        """Final hidden state ``(B, H)`` of each sequence, inference-only.
+
+        Runs the exact per-timestep arithmetic of :meth:`forward` without
+        materializing the BPTT cache or the full ``(B, T, H)`` hidden
+        tensor — bit-identical to ``forward(x)[0][:, -1, :]`` but without
+        the bookkeeping, which dominates online single-sequence predicts.
+        """
+        if x.ndim != 3 or x.shape[2] != self.input_size:
+            raise ValueError(
+                f"expected input (B, T, {self.input_size}), got {x.shape}"
+            )
+        B, T, _ = x.shape
+        H = self.hidden_size
+        h = np.zeros((B, H))
+        c = np.zeros((B, H))
+        WxT = self.Wx.T
+        WhT = self.Wh.T
+        b = self.b
+        xz = x @ WxT if self.input_size == 1 else None
+        for t in range(T):
+            zx = xz[:, t, :] if xz is not None else x[:, t, :] @ WxT
+            z = zx + h @ WhT + b
+            # One sigmoid over the i/f/o columns gathered contiguously
+            # (sigmoid is elementwise, so gathering first is bitwise
+            # identical to the per-gate calls and halves the ufunc count).
+            s = _sigmoid(
+                np.concatenate([z[:, : 2 * H], z[:, 3 * H :]], axis=1)
+            )
+            i = s[:, :H]
+            f = s[:, H : 2 * H]
+            o = s[:, 2 * H :]
+            g = np.tanh(z[:, 2 * H : 3 * H])
+            c = f * c + i * g
+            h = o * np.tanh(c)
+        return h
 
     def backward(
         self, dhs: np.ndarray, cache: dict

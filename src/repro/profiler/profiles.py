@@ -18,7 +18,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.hardware.configs import Backend, HardwareConfig
+import numpy as np
+
+from repro.hardware.configs import Backend, ConfigurationSpace, HardwareConfig
 from repro.profiler.fitting import FittedLatencyModel
 from repro.profiler.inittime import DEFAULT_UNCERTAINTY, InitTimeEstimate
 
@@ -87,6 +89,34 @@ class FunctionProfile:
             cached = self._init(config.backend).robust(self.n_sigma)
             self._memo[key] = cached
         return cached
+
+    def config_arrays(
+        self, space: ConfigurationSpace, batch: int = 1
+    ) -> tuple[tuple[HardwareConfig, ...], np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized view of this profile over a configuration space.
+
+        Returns ``(configs, init_times, inference_times, unit_costs)``
+        restricted to supported backends, aligned elementwise and in space
+        order.  Values come from the same memoized scalar accessors the
+        non-vectorized paths use, so array entries are bit-identical to
+        per-config calls.  Memoized per (space identity, batch); callers
+        treat the arrays as read-only.
+        """
+        key = ("vec", id(space), batch)
+        cached = self._memo.get(key)
+        if cached is not None and cached[0] is space:
+            return cached[1]
+        configs = tuple(c for c in space if self.supports(c.backend))
+        arrays = (
+            configs,
+            np.array([self.init_time(c) for c in configs]),
+            np.array([self.inference_time(c, batch) for c in configs]),
+            np.array([c.unit_cost for c in configs]),
+        )
+        if len(self._memo) > 16384:  # unbounded-IT safety valve
+            self._memo.clear()
+        self._memo[key] = (space, arrays)
+        return arrays
 
     def mean_init_time(self, config: HardwareConfig) -> float:
         """Plain-mean initialization time (the Fig. 11a strawman)."""

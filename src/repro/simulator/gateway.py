@@ -161,9 +161,26 @@ class SimulationContext:
         """
         self._gw.schedule_warmup(function, start_time, config, count)
 
+    @property
+    def traced(self) -> bool:
+        """Whether this run records a telemetry trace.
+
+        Policies may skip semantically idempotent bookkeeping (e.g.
+        re-issuing an unchanged directive) only when untraced; under a
+        recorder every emission is part of the audit trail.
+        """
+        return self._gw._rec is not None
+
     def counts_history(self) -> np.ndarray:
-        """Invocation counts of all *completed* windows so far."""
-        return np.array(self._gw.window_counts, dtype=int)
+        """Invocation counts of all *completed* windows so far.
+
+        Returns a read-only view into the gateway's append-only count
+        buffer — O(1) per call, so per-arrival policies can consult the
+        full history without an O(n) copy.  The entries for already
+        completed windows never change; successive calls return one more
+        entry per completed window.
+        """
+        return self._gw.counts_view()
 
     def live_count(
         self, function: str, config: HardwareConfig | None = None
@@ -263,7 +280,10 @@ class Gateway:
         self.pending_launches: dict[str, deque[HardwareConfig]] = {
             f: deque() for f in app.function_names
         }
-        self.window_counts: list[int] = []
+        # Append-only per-window arrival counts, kept in a doubling numpy
+        # buffer so counts_history() is an O(1) read-only view, not a copy.
+        self._counts_buf = np.zeros(256, dtype=np.int64)
+        self._counts_len = 0
         self.pending_stage_demand: dict[str, int] = {
             f: 0 for f in app.function_names
         }
@@ -1007,6 +1027,20 @@ class Gateway:
         self.events.schedule(start_time, fire)
 
     # ------------------------------------------------------------- windows
+    def _append_window_count(self, arrivals: int) -> None:
+        if self._counts_len == self._counts_buf.size:
+            grown = np.zeros(self._counts_buf.size * 2, dtype=np.int64)
+            grown[: self._counts_len] = self._counts_buf
+            self._counts_buf = grown
+        self._counts_buf[self._counts_len] = arrivals
+        self._counts_len += 1
+
+    def counts_view(self) -> np.ndarray:
+        """Read-only view of all completed per-window arrival counts."""
+        view = self._counts_buf[: self._counts_len]
+        view.setflags(write=False)
+        return view
+
     def _schedule_tick(self, k: int) -> None:
         self.events.schedule(
             k * self.window,
@@ -1019,7 +1053,7 @@ class Gateway:
             if k < self._n_windows:
                 self._schedule_tick(k + 1)
             arrivals = self._current_window_count
-            self.window_counts.append(arrivals)
+            self._append_window_count(arrivals)
             self.metrics.arrival_samples.append((self.events.now, arrivals))
             self._current_window_count = 0
             cpu_pods = gpu_pods = 0

@@ -8,10 +8,17 @@ closures, unmemoized models) on a fixed seed; exact equality guards the
 whole refactor, bit for bit.
 """
 
+import hashlib
+
+import numpy as np
 import pytest
 
 from repro.experiments import build_environment
+from repro.predictor.interarrival import InterArrivalPredictor, gaps_from_counts
+from repro.predictor.invocation import InvocationPredictor
 from repro.simulator import ServerlessSimulator
+from repro.telemetry.audit import format_decision_audit
+from repro.telemetry.recorder import TraceRecorder, write_jsonl
 
 GOLDEN = {
     "smiless": {
@@ -43,6 +50,29 @@ GOLDEN = {
 }
 
 
+# Captured from the pre-optimization policy path (before prediction
+# caching, vectorized co-optimization and directive reuse): a second
+# smiless cell on a different app, plus full-trace and decision-audit
+# digests of a *traced* image-query run.  The optimizations must leave
+# metrics, traces and audits byte-identical.
+SMILESS_AMBER_GOLDEN = {
+    "total_cost": 0.04962998161721614,
+    "violation_ratio": 0.0625,
+    "invocations": 32.0,
+    "mean_latency": 1.946881771898577,
+    "p50_latency": 1.8418977967539973,
+    "p99_latency": 4.245052596596203,
+    "reinit_fraction": 0.020833333333333332,
+    "cpu_cost": 0.02633998161721614,
+    "gpu_cost": 0.023290000000000005,
+    "availability": 1.0,
+    "goodput": 0.9375,
+}
+SMILESS_TRACE_DIGEST = "882cb77403c038ffac378cc2058aa98f"
+SMILESS_AUDIT_DIGEST = "966f317ac4fa2d476dbb37b004e32364"
+SMILESS_TRACE_EVENTS = 1038
+
+
 @pytest.fixture(scope="module")
 def environment():
     return build_environment(
@@ -70,3 +100,63 @@ def test_back_to_back_runs_identical(environment):
         ).run().summary()
 
     assert one_run() == one_run()
+
+
+def test_smiless_amber_summary_bit_identical():
+    """Second-app smiless golden pinned before the policy-path optimization."""
+    env = build_environment(
+        "amber-alert", preset="steady", sla=2.0, duration=150.0, seed=0
+    )
+    summary = ServerlessSimulator(
+        env.app, env.trace, env.make_policy("smiless"), seed=3
+    ).run().summary()
+    assert summary == SMILESS_AMBER_GOLDEN
+
+
+def test_smiless_trace_and_audit_digests_bit_identical(environment, tmp_path):
+    """Traced runs must re-emit the exact pre-optimization event stream.
+
+    Directive reuse may only skip re-issues on *untraced* runs, so the
+    JSONL trace and the decision-audit rendering of a recorded run pin
+    the full ``DirectiveChanged`` churn byte for byte.
+    """
+    env = environment
+    rec = TraceRecorder()
+    ServerlessSimulator(
+        env.app, env.trace, env.make_policy("smiless"), seed=3, recorder=rec
+    ).run()
+    path = tmp_path / "trace.jsonl"
+    write_jsonl(rec.events, path)
+    trace_digest = hashlib.blake2b(
+        path.read_bytes(), digest_size=16
+    ).hexdigest()
+    audit_digest = hashlib.blake2b(
+        format_decision_audit(rec.events).encode(), digest_size=16
+    ).hexdigest()
+    assert len(rec.events) == SMILESS_TRACE_EVENTS
+    assert trace_digest == SMILESS_TRACE_DIGEST
+    assert audit_digest == SMILESS_AUDIT_DIGEST
+
+
+def test_predictor_cache_bit_identical_across_randomized_histories():
+    """Cached and uncached predictor outputs agree bitwise on random tails."""
+    rng = np.random.default_rng(42)
+    train = rng.poisson(0.8, size=900)
+    inv = InvocationPredictor(
+        bucket_size=1, n_buckets=16, epochs=2, seed=0
+    ).fit(train)
+    inter = InterArrivalPredictor(epochs=2, seed=0).fit(train)
+    checked_inter = 0
+    for _ in range(30):
+        size = int(rng.integers(60, 400))
+        hist = rng.poisson(float(rng.uniform(0.3, 3.0)), size=size)
+        cached = inv.predict_next(hist)
+        assert cached == inv.predict_next(hist, use_cache=False)
+        assert cached == inv.predict_next(hist)  # memo hit, same value
+        gaps = gaps_from_counts(hist)
+        if gaps.size >= inter.gap_window and hist.size >= inter.count_window:
+            got = inter.predict_next(gaps, hist)
+            assert got == inter.predict_next(gaps, hist, use_cache=False)
+            assert got == inter.predict_next(gaps, hist)  # memo hit
+            checked_inter += 1
+    assert checked_inter >= 10  # the generator must exercise the LSTM path
