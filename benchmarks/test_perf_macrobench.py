@@ -37,6 +37,7 @@ import numpy as np
 REPO_ROOT = pathlib.Path(__file__).parent.parent
 BENCH_JSON = REPO_ROOT / "BENCH_macro.json"
 SMILESS_BENCH_JSON = REPO_ROOT / "BENCH_macro_smiless.json"
+SHARDED_BENCH_JSON = REPO_ROOT / "BENCH_macro_sharded.json"
 SMOKE_BASELINE_JSON = (
     REPO_ROOT / "benchmarks" / "results" / "BENCH_macro_smoke_baseline.json"
 )
@@ -55,29 +56,30 @@ MAX_RSS_GROWTH = 1.35
 
 
 def _run_bench(
-    invocations: int, out: pathlib.Path, policy: str = "grandslam"
+    invocations: int,
+    out: pathlib.Path,
+    policy: str = "grandslam",
+    shards: int | None = None,
 ) -> dict:
     """Run ``repro bench --macro`` in a fresh subprocess; return its record."""
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO_ROOT / "src")
-    subprocess.run(
-        [
-            sys.executable,
-            "-m",
-            "repro.cli",
-            "bench",
-            "--macro",
-            "--invocations",
-            str(invocations),
-            "--policy",
-            policy,
-            "--out",
-            str(out),
-        ],
-        check=True,
-        cwd=REPO_ROOT,
-        env=env,
-    )
+    cmd = [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "bench",
+        "--macro",
+        "--invocations",
+        str(invocations),
+        "--policy",
+        policy,
+        "--out",
+        str(out),
+    ]
+    if shards is not None:
+        cmd += ["--shards", str(shards)]
+    subprocess.run(cmd, check=True, cwd=REPO_ROOT, env=env)
     return json.loads(out.read_text())
 
 
@@ -154,6 +156,117 @@ def test_macro_bench(tmp_path):
     assert growth <= MAX_RSS_GROWTH, (
         f"peak RSS grew {growth:.2f}x from 100k to 1M invocations "
         f"(limit {MAX_RSS_GROWTH}x) — sketch retention is leaking records"
+    )
+
+
+def _check_sharded_record(record: dict, invocations: int) -> None:
+    assert record["generated_by"] == "repro bench --macro --shards"
+    assert record["invocations_target"] == invocations
+    assert record["retention"] == "sketch"
+    assert record["completed"] >= 0.95 * invocations
+    assert record["shards_requested"] >= 2
+    assert record["workers_effective"] >= 1
+    assert record["slices_per_app"] >= 1
+    # The parity gate is internal to cmd_bench: when more than one worker
+    # actually ran, the record only exists because the merged metrics
+    # matched a 1-shard reference field-by-field (exit 1 otherwise).  A
+    # clamped single-worker run executes the identical serial code path
+    # and records why no second pass was run.
+    if record["workers_effective"] > 1:
+        assert record["parity"] == "exact"
+        assert record["speedup_vs_one_shard"] > 0
+    else:
+        assert record["parity"].startswith("skipped")
+        assert "clamp_note" in record
+
+
+def test_macro_bench_sharded(tmp_path):
+    """Sharded 10M-invocation record (full) / sharded smoke (CI).
+
+    Full mode writes the committed ``BENCH_macro_sharded.json``: a
+    10,000,000-invocation co-run fanned over ``--shards 4``.  The >= 2.5x
+    events/s speedup over the 1-shard reference is asserted only when the
+    host actually granted >= 4 workers — on smaller hosts the clamp note
+    documents why the pool was narrowed and the parity contract is what
+    remains testable.
+    """
+    if SMOKE:
+        record = _run_bench(
+            50_000, tmp_path / "macro_sharded_smoke.json", shards=2
+        )
+        _check_sharded_record(record, 50_000)
+        print(
+            f"\n[perf macrobench] sharded smoke "
+            f"workers={record['workers_effective']} "
+            f"wall={record['wall_clock_seconds']:.1f}s "
+            f"({record['events_per_second']:,.0f} events/s) "
+            f"parity={record['parity']}"
+        )
+        return
+
+    record = _run_bench(10_000_000, SHARDED_BENCH_JSON, shards=4)
+    _check_sharded_record(record, 10_000_000)
+    print(
+        f"\n[perf macrobench] sharded 10M: "
+        f"workers={record['workers_effective']}/{record['shards_requested']} "
+        f"wall={record['wall_clock_seconds']:.1f}s "
+        f"rss={record['peak_rss_mb']:.0f}MB "
+        f"({record['events_per_second']:,.0f} events/s) "
+        f"parity={record['parity']}"
+    )
+    if record["workers_effective"] >= 4:
+        assert record["speedup_vs_one_shard"] >= 2.5, (
+            f"4-way sharding delivered only "
+            f"{record['speedup_vs_one_shard']:.2f}x over the 1-shard "
+            f"reference on a >=4-core host (floor 2.5x)"
+        )
+
+
+def test_sharded_differential_100k():
+    """4-shard vs 1-shard merged metrics, field by field, at 100k aggregate.
+
+    The full-scale version of ``tests/test_sharding_differential.py``:
+    same plan, same seeds, 4 shards vs 1 — every non-distributional
+    summary field and raw counter must match bit for bit after the
+    barrier merge.
+    """
+    if SMOKE:
+        import pytest
+
+        pytest.skip("100k sharded differential runs in full mode only")
+
+    import math
+
+    from repro.experiments.parallel import EnvSpec
+    from repro.experiments.runners import APP_BUILDERS
+    from repro.sharding import ShardPlan, run_sharded
+    from repro.workload.azure import PRESETS
+
+    apps = tuple(sorted(APP_BUILDERS))
+    rate = len(apps) / PRESETS["flood"].mean_gap
+    duration = float(np.ceil(100_000 / rate))
+    envs = tuple(
+        EnvSpec(app=app, preset="flood", sla=2.0, duration=duration)
+        for app in apps
+    )
+    plan4 = ShardPlan.for_apps(apps, n_shards=4, slices_per_app=4)
+    plan1 = ShardPlan.for_apps(apps, n_shards=1, slices_per_app=4)
+    reference = run_sharded(plan1, envs, "grandslam", processes=1)
+    sharded = run_sharded(plan4, envs, "grandslam")
+    assert sharded == reference  # bitwise: every unit's accumulator states
+    merged, ref = sharded.per_app_metrics(), reference.per_app_metrics()
+    total = 0
+    for app in ref:
+        ms, rs = merged[app].summary(), ref[app].summary()
+        for key in ms:
+            a, b = ms[key], rs[key]
+            assert a == b or (math.isnan(a) and math.isnan(b)), (app, key)
+        assert merged[app].cost_breakdown() == ref[app].cost_breakdown()
+        total += merged[app].n_completed
+    assert total >= 0.95 * 100_000
+    print(
+        f"\n[perf macrobench] sharded differential: {total} invocations, "
+        f"4-shard == 1-shard bit for bit"
     )
 
 

@@ -14,7 +14,9 @@ Subcommands wrap the :mod:`repro.experiments` runners:
   from a JSONL trace with ``--from-trace``)
 - ``bench``     — the macro benchmark: a million-invocation multi-app
   co-run with ``retention=sketch`` (bounded memory), recording wall-clock,
-  event throughput and peak RSS to ``BENCH_macro.json``
+  event throughput and peak RSS to ``BENCH_macro.json``; ``--shards N``
+  fans (app × trace-slice) units over worker processes and merges
+  bit-identically at the barrier (``BENCH_macro_sharded.json``)
 - ``profile``   — print a function's profiled latency/init models
 - ``apps``      — list the built-in applications and workload presets
 
@@ -27,6 +29,7 @@ Examples::
     python -m repro.cli trace image-query --out run.jsonl --chrome run.trace.json
     python -m repro.cli report image-query --from-trace run.jsonl
     python -m repro.cli bench --macro --invocations 1000000
+    python -m repro.cli bench --macro --invocations 10000000 --shards 4
     python -m repro.cli profile TRS
 """
 
@@ -151,14 +154,18 @@ def cmd_multiapp(args) -> int:
 
 def cmd_scenario(args) -> int:
     spec = ScenarioSpec.from_json(args.spec)
-    if args.trace_dir is not None or args.retention is not None:
+    overrides = {}
+    if args.trace_dir is not None:
+        overrides["trace_dir"] = args.trace_dir
+    if args.retention is not None:
+        overrides["retention"] = args.retention
+    if args.shards is not None:
+        overrides["shards"] = args.shards
+    if args.slices_per_app is not None:
+        overrides["slices_per_app"] = args.slices_per_app
+    if overrides:
         import dataclasses
 
-        overrides = {}
-        if args.trace_dir is not None:
-            overrides["trace_dir"] = args.trace_dir
-        if args.retention is not None:
-            overrides["retention"] = args.retention
         spec = dataclasses.replace(spec, **overrides)
     if args.json:
         from repro.experiments.parallel import run_grid
@@ -354,13 +361,35 @@ def cmd_trace(args) -> int:
 
 
 def cmd_bench(args) -> int:
+    import dataclasses
     import resource
 
     from repro.experiments.parallel import EnvSpec, MultiAppCellSpec, run_cell
+    from repro.sharding import clamp_shard_workers
 
-    if not args.macro:
-        print("error: bench currently supports --macro only")
+    # Mode selection (--macro) is enforced by the argparse group; by the
+    # time we are here a mode is guaranteed.
+    sharded = args.shards > 1 or (
+        args.slices_per_app is not None and args.slices_per_app > 1
+    )
+    slices_per_app = (
+        args.slices_per_app
+        if args.slices_per_app is not None
+        else (4 if sharded else 1)
+    )
+    if sharded and args.retention != "sketch":
+        print(
+            "error: bench --shards/--slices-per-app requires "
+            "--retention sketch (shard snapshots extract streaming state)",
+            file=sys.stderr,
+        )
         return 2
+    workers, clamp_note = clamp_shard_workers(args.shards)
+    if clamp_note is not None:
+        print(f"note: {clamp_note}")
+    out = args.out or (
+        "BENCH_macro_sharded.json" if sharded else "BENCH_macro.json"
+    )
     apps = tuple(sorted(APP_BUILDERS))
     rate_per_app = 1.0 / PRESETS[args.preset].mean_gap
     aggregate_rate = rate_per_app * len(apps)
@@ -369,10 +398,16 @@ def cmd_bench(args) -> int:
         if args.duration is not None
         else math.ceil(args.invocations / aggregate_rate)
     )
+    shard_banner = (
+        f", shards={args.shards} (workers={workers}), "
+        f"slices_per_app={slices_per_app}"
+        if sharded
+        else ""
+    )
     print(
         f"macro bench: {len(apps)} apps x preset {args.preset!r} "
         f"(~{aggregate_rate:.0f} arrivals/s aggregate) for {duration:.0f}s "
-        f"under {args.policy!r}, retention={args.retention!r}"
+        f"under {args.policy!r}, retention={args.retention!r}{shard_banner}"
     )
     spec = MultiAppCellSpec(
         envs=tuple(
@@ -388,6 +423,8 @@ def cmd_bench(args) -> int:
         policy=args.policy,
         sim_seed=args.seed + 3,
         retention=args.retention,
+        shards=workers if sharded else 1,
+        slices_per_app=slices_per_app,
     )
     res = run_cell(spec)
     # ru_maxrss is KiB on Linux: the process-lifetime peak, which is the
@@ -410,14 +447,55 @@ def cmd_bench(args) -> int:
         "peak_rss_mb": peak_rss_mb,
         "apps": _json_safe(res.summary),
     }
-    with open(args.out, "w") as fh:
-        json.dump(record, fh, indent=2)
+    if sharded:
+        record["generated_by"] = "repro bench --macro --shards"
+        record["shards_requested"] = int(args.shards)
+        record["workers_effective"] = int(workers)
+        record["slices_per_app"] = int(slices_per_app)
+        if clamp_note is not None:
+            record["clamp_note"] = clamp_note
+        if workers > 1:
+            # Parity gate: the same unit decomposition on one shard must
+            # merge to the exact same metrics (NaN == NaN).  This is the
+            # correctness bar — fail loudly, not quietly.
+            print("running 1-shard reference pass for the parity gate ...")
+            ref = run_cell(dataclasses.replace(spec, shards=1))
+            mismatched = sorted(
+                app
+                for app in res.summary
+                if not _summaries_match(res.summary[app], ref.summary[app])
+            )
+            if mismatched:
+                print(
+                    "error: sharded metrics diverge from the 1-shard "
+                    f"reference for {mismatched}",
+                    file=sys.stderr,
+                )
+                return 1
+            record["parity"] = "exact"
+            record["reference_wall_clock_seconds"] = ref.wall_clock
+            record["speedup_vs_one_shard"] = (
+                ref.wall_clock / res.wall_clock
+                if res.wall_clock > 0
+                else float("inf")
+            )
+            print(
+                f"parity: exact; speedup vs 1 shard: "
+                f"{record['speedup_vs_one_shard']:.2f}x"
+            )
+        else:
+            # One effective worker runs the identical serial code path the
+            # reference would — a second multi-hour pass would compare a
+            # function with itself.
+            record["parity"] = "skipped: single effective worker"
+    with open(out, "w") as fh:
+        json.dump(_json_safe(record), fh, indent=2)
         fh.write("\n")
     print(
         f"completed {int(completed)} invocations in {res.wall_clock:.1f}s "
         f"({res.events_per_second:,.0f} events/s), peak RSS {peak_rss_mb:.0f} MB"
     )
-    print(f"wrote {args.out}")
+    print(f"wrote {out}")
     return 0
 
 
@@ -539,6 +617,20 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(RETENTION_MODES),
         help="override the spec's record-retention mode",
     )
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="override the spec's shard count (worker processes per cell; "
+        "requires sketch retention)",
+    )
+    p.add_argument(
+        "--slices-per-app",
+        type=int,
+        default=None,
+        help="override the spec's trace slices per app (part of the "
+        "experiment definition)",
+    )
     p.set_defaults(func=cmd_scenario)
 
     p = sub.add_parser("report", help="serve one app and print the full report")
@@ -587,7 +679,11 @@ def build_parser() -> argparse.ArgumentParser:
         "bench",
         help="macro benchmark: million-invocation multi-app co-run",
     )
-    p.add_argument(
+    # The benchmark mode is a required choice: invoking `bench` without a
+    # mode (or with an unknown one) is an argparse error (exit code 2),
+    # not a printed hint with a success-shaped exit path.
+    mode = p.add_mutually_exclusive_group(required=True)
+    mode.add_argument(
         "--macro",
         action="store_true",
         help="run the macro benchmark (multi-app co-run at flood rates)",
@@ -608,11 +704,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="horizon override in seconds (default: --invocations / rate)",
     )
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="fan the run's (app x trace-slice) units over this many "
+        "worker processes, merging bit-identically at the barrier "
+        "(clamped to the host CPU count; requires --retention sketch)",
+    )
+    p.add_argument(
+        "--slices-per-app",
+        type=int,
+        default=None,
+        help="trace slices per app when sharding (part of the experiment "
+        "definition; constant across shard counts). Default: 4 for "
+        "sharded runs, 1 otherwise",
+    )
     retention_arg(p, default="sketch")
     p.add_argument(
         "--out",
-        default="BENCH_macro.json",
-        help="benchmark record output path (default: BENCH_macro.json)",
+        default=None,
+        help="benchmark record output path (default: BENCH_macro.json, "
+        "or BENCH_macro_sharded.json for sharded runs)",
     )
     p.set_defaults(func=cmd_bench)
 

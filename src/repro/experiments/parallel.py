@@ -58,6 +58,15 @@ class CellSpec:
     ``retention`` selects record retention ("full" keeps every record,
     "sketch" folds completions into streaming accumulators for
     O(1)-memory runs — see ``docs/performance.md``).
+
+    ``shards``/``slices_per_app`` opt the cell into the shard plane
+    (:mod:`repro.sharding`): the app's trace is cut into
+    ``slices_per_app`` independent time-slices, fanned over ``shards``
+    worker processes, and merged at the barrier.  Requires
+    ``retention="sketch"`` (snapshots are streaming-state extracts) and
+    no ``trace_dir`` (per-unit runtimes would shred one telemetry
+    stream); merged non-distributional metrics are bit-identical for any
+    ``shards`` value over the same ``slices_per_app``.
     """
 
     env: EnvSpec
@@ -67,6 +76,8 @@ class CellSpec:
     init_failure_rate: float = 0.0
     faults: "FaultPlan | None" = None
     retention: str = "full"
+    shards: int = 1
+    slices_per_app: int = 1
 
 
 @dataclass(frozen=True)
@@ -88,6 +99,12 @@ class MultiAppCellSpec:
     init_failure_rate: float = 0.0
     faults: "FaultPlan | None" = None
     retention: str = "full"
+    #: Shard-plane opt-in, as on :class:`CellSpec`.  Note a sharded
+    #: multi-app cell runs each (app × slice) unit on its *own* cluster —
+    #: it measures the apps side by side without cross-tenant
+    #: back-pressure, unlike the ``shards=1`` co-run path.
+    shards: int = 1
+    slices_per_app: int = 1
 
 
 @dataclass(frozen=True)
@@ -164,6 +181,8 @@ def run_cell(spec: CellSpec | MultiAppCellSpec) -> CellResult:
     telemetry trace behind (written after the clock stops, so tracing does
     not distort the perf numbers beyond event construction itself).
     """
+    if spec.shards > 1 or spec.slices_per_app > 1:
+        return _run_sharded_cell(spec)
     if isinstance(spec, MultiAppCellSpec):
         return _run_multiapp_cell(spec)
     from repro.simulator import ServerlessSimulator
@@ -191,6 +210,56 @@ def run_cell(spec: CellSpec | MultiAppCellSpec) -> CellResult:
         summary=metrics.summary(),
         wall_clock=wall,
         events_processed=sim.events.processed,
+    )
+
+
+def _run_sharded_cell(spec: CellSpec | MultiAppCellSpec) -> CellResult:
+    """Run a shard-plane cell: scatter units over processes, merge, time.
+
+    ``wall_clock`` is the barrier wall time (what a user waits for);
+    ``events_processed`` sums over every unit.  The summary keeps the
+    cell-kind convention: flat dict for a solo :class:`CellSpec`, dict
+    keyed by app for a :class:`MultiAppCellSpec`.
+    """
+    # Late import: repro.sharding imports this module for EnvSpec and the
+    # environment cache.
+    from repro.sharding import ShardPlan, run_sharded
+
+    if spec.retention != "sketch":
+        raise ValueError(
+            "sharded cells require retention='sketch' (snapshots extract "
+            f"streaming state); got retention={spec.retention!r}"
+        )
+    if spec.trace_dir is not None:
+        raise ValueError(
+            "sharded cells cannot record telemetry traces: each unit runs "
+            "as its own runtime, which would shred one JSONL stream "
+            "(set trace_dir=None or shards=slices_per_app=1)"
+        )
+    envs = spec.envs if isinstance(spec, MultiAppCellSpec) else (spec.env,)
+    plan = ShardPlan.for_apps(
+        [e.app for e in envs],
+        n_shards=spec.shards,
+        slices_per_app=spec.slices_per_app,
+    )
+    start = time.perf_counter()
+    snapshot = run_sharded(
+        plan,
+        envs,
+        spec.policy,
+        sim_seed=spec.sim_seed,
+        init_failure_rate=spec.init_failure_rate,
+        faults=spec.faults,
+    )
+    wall = time.perf_counter() - start
+    summary = snapshot.summary()
+    if isinstance(spec, CellSpec):
+        summary = summary[spec.env.app]
+    return CellResult(
+        spec=spec,
+        summary=summary,
+        wall_clock=wall,
+        events_processed=snapshot.events_processed,
     )
 
 

@@ -80,6 +80,15 @@ class ScenarioSpec:
     #: completions into streaming accumulators (O(1) memory; latency
     #: distributions approximate within a documented rank-error bound).
     retention: str = "full"
+    #: Shard plane (:mod:`repro.sharding`): fan every cell's (app ×
+    #: trace-slice) units over this many worker processes and merge at the
+    #: barrier.  ``shards > 1`` or ``slices_per_app > 1`` requires
+    #: ``retention="sketch"`` and no ``trace_dir``; merged
+    #: non-distributional metrics are independent of the shard count.
+    shards: int = 1
+    #: Trace slices per app in sharded cells.  Part of the experiment
+    #: definition (it changes which simulations run), unlike ``shards``.
+    slices_per_app: int = 1
 
     def __post_init__(self) -> None:
         if not self.apps:
@@ -95,6 +104,27 @@ class ScenarioSpec:
             raise ValueError(
                 f"unknown retention mode {self.retention!r}; "
                 f"expected one of {RETENTION_MODES}"
+            )
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.slices_per_app < 1:
+            raise ValueError(
+                f"slices_per_app must be >= 1, got {self.slices_per_app}"
+            )
+        if (self.shards > 1 or self.slices_per_app > 1) and (
+            self.retention != "sketch"
+        ):
+            raise ValueError(
+                "sharded scenarios require retention='sketch' "
+                "(shard snapshots extract streaming state); got "
+                f"retention={self.retention!r}"
+            )
+        if (self.shards > 1 or self.slices_per_app > 1) and (
+            self.trace_dir is not None
+        ):
+            raise ValueError(
+                "sharded scenarios cannot record telemetry traces: each "
+                "unit runs as its own runtime (drop trace_dir or sharding)"
             )
 
     # ------------------------------------------------------------- loading
@@ -186,6 +216,8 @@ class ScenarioSpec:
                     init_failure_rate=self.init_failure_rate,
                     faults=self.faults,
                     retention=self.retention,
+                    shards=self.shards,
+                    slices_per_app=self.slices_per_app,
                 )
                 for preset in self.presets
                 for sla in self.slas
@@ -201,6 +233,8 @@ class ScenarioSpec:
                 init_failure_rate=self.init_failure_rate,
                 faults=self.faults,
                 retention=self.retention,
+                shards=self.shards,
+                slices_per_app=self.slices_per_app,
             )
             for preset in self.presets
             for app in self.apps

@@ -71,6 +71,31 @@ class StreamingStats:
         if other.maximum > self.maximum:
             self.maximum = other.maximum
 
+    # ------------------------------------------------------------ snapshots
+    def to_state(self) -> tuple[int, float, float, float]:
+        """Exact picklable state ``(count, total, min, max)``.
+
+        The shard plane ships these across process boundaries; a restored
+        accumulator (:meth:`from_state`) is indistinguishable from the
+        original — same count, same bit-exact running sum and extrema.
+        """
+        return (self.count, self.total, self.minimum, self.maximum)
+
+    @classmethod
+    def from_state(
+        cls, state: tuple[int, float, float, float]
+    ) -> "StreamingStats":
+        """Rebuild an accumulator from a :meth:`to_state` snapshot."""
+        count, total, minimum, maximum = state
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        stats = cls()
+        stats.count = int(count)
+        stats.total = float(total)
+        stats.minimum = float(minimum)
+        stats.maximum = float(maximum)
+        return stats
+
     @property
     def mean(self) -> float:
         """Arithmetic mean (NaN for an empty accumulator)."""
@@ -297,6 +322,44 @@ class QuantileSketch:
             out.append(float(m))
             out.append(float(c))
         return tuple(out)
+
+    def to_state(self) -> tuple[int, int, float, float, tuple[float, ...]]:
+        """Exact shard-plane snapshot: ``(compression, count, min, max, flat)``.
+
+        Unlike :meth:`to_flat` — which targets JSON-scalar telemetry embeds
+        and lets :meth:`from_flat` re-derive count and extrema from the
+        centroids — this round-trip preserves the sketch's *exact* count,
+        minimum and maximum, so a sketch restored in another process
+        (:meth:`from_state`) merges and answers quantile queries
+        bit-identically to the original.  This is the primitive
+        :mod:`repro.sharding` builds :class:`~repro.sharding.UnitSnapshot`
+        on.
+        """
+        return (
+            self.compression,
+            self.count,
+            self._min,
+            self._max,
+            self.to_flat(),
+        )
+
+    @classmethod
+    def from_state(
+        cls, state: tuple[int, int, float, float, tuple[float, ...]]
+    ) -> "QuantileSketch":
+        """Rebuild a sketch from a :meth:`to_state` snapshot (exact)."""
+        compression, count, minimum, maximum, flat = state
+        sketch = cls.from_flat(flat, compression=int(compression))
+        if sketch.count != int(count):
+            raise ValueError(
+                f"snapshot centroid mass {sketch.count} disagrees with the "
+                f"recorded count {count}"
+            )
+        sketch.count = int(count)
+        if flat:
+            sketch._min = float(minimum)
+            sketch._max = float(maximum)
+        return sketch
 
     @classmethod
     def from_flat(

@@ -1,0 +1,161 @@
+"""Deterministic shard plans: partition a deployment across processes.
+
+A :class:`ShardPlan` fixes the *unit decomposition* of a run — one
+:class:`ShardUnit` per (application, trace time-slice) — plus how many
+worker shards execute it.  The decomposition is the experiment definition:
+merged results depend only on the units (and the root seed), **never** on
+``n_shards``, which merely controls how the units fan across processes.
+That invariance is what makes the shard plane's correctness bar testable:
+a 4-shard run and a 1-shard run of the same plan produce bit-identical
+merged non-distributional metrics, because they simulate exactly the same
+units with exactly the same seeds and merge them in the same canonical
+order (see :mod:`repro.sharding.snapshot`).
+
+Units are intentionally *independent* simulations — each runs as its own
+:class:`~repro.simulator.runtime.Runtime` with its own cluster.  Shards
+that must share a cluster (cross-shard back-pressure) need optimistic
+sync and rollback — Revati-style time-warp emulation — which ROADMAP
+lists as the stretch goal on top of this deterministic-partition layer.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ShardUnit:
+    """One independently-simulable unit: an app, or one slice of its trace.
+
+    ``slice_index``/``n_slices`` select a contiguous ``[i*T/n, (i+1)*T/n)``
+    window of the unit's trace, re-based to start at 0 (see
+    :meth:`~repro.workload.trace.Trace.slice`).  ``n_slices == 1`` means
+    the whole trace — the unit then reproduces a standalone per-app run
+    bit for bit.
+    """
+
+    app: str
+    slice_index: int = 0
+    n_slices: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_slices < 1:
+            raise ValueError(f"n_slices must be >= 1, got {self.n_slices}")
+        if not 0 <= self.slice_index < self.n_slices:
+            raise ValueError(
+                f"slice_index must be in [0, {self.n_slices}), "
+                f"got {self.slice_index}"
+            )
+
+    @property
+    def key(self) -> tuple[str, int]:
+        """Canonical sort/identity key."""
+        return (self.app, self.slice_index)
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A unit decomposition plus the shard count executing it."""
+
+    units: tuple[ShardUnit, ...]
+    n_shards: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {self.n_shards}")
+        if not self.units:
+            raise ValueError("plan needs at least one unit")
+        keys = [u.key for u in self.units]
+        if len(set(keys)) != len(keys):
+            raise ValueError(f"duplicate shard units: {sorted(keys)}")
+        # Units must form a complete partition per app: consistent slice
+        # count, every slice present — a plan missing slice 2 of 4 would
+        # silently drop arrivals.
+        per_app: dict[str, list[ShardUnit]] = {}
+        for unit in self.units:
+            per_app.setdefault(unit.app, []).append(unit)
+        for app, units in per_app.items():
+            n_slices = {u.n_slices for u in units}
+            if len(n_slices) != 1:
+                raise ValueError(
+                    f"app {app!r} mixes slice counts {sorted(n_slices)}"
+                )
+            expected = set(range(n_slices.pop()))
+            got = {u.slice_index for u in units}
+            if got != expected:
+                raise ValueError(
+                    f"app {app!r} misses trace slices "
+                    f"{sorted(expected - got)}"
+                )
+        # Canonical unit order, independent of construction order.
+        object.__setattr__(
+            self, "units", tuple(sorted(self.units, key=lambda u: u.key))
+        )
+
+    @classmethod
+    def for_apps(
+        cls,
+        apps: "list[str] | tuple[str, ...]",
+        *,
+        n_shards: int = 1,
+        slices_per_app: int = 1,
+    ) -> "ShardPlan":
+        """Plan over a multi-app deployment: ``apps x slices_per_app`` units.
+
+        ``slices_per_app`` is part of the experiment definition (it changes
+        which simulations run); ``n_shards`` is not (it only changes where
+        they run).
+        """
+        if slices_per_app < 1:
+            raise ValueError(
+                f"slices_per_app must be >= 1, got {slices_per_app}"
+            )
+        units = tuple(
+            ShardUnit(app=app, slice_index=i, n_slices=slices_per_app)
+            for app in sorted(set(apps))
+            for i in range(slices_per_app)
+        )
+        return cls(units=units, n_shards=n_shards)
+
+    @property
+    def apps(self) -> tuple[str, ...]:
+        """Distinct application names, sorted."""
+        return tuple(sorted({u.app for u in self.units}))
+
+    def assignments(self) -> tuple[tuple[ShardUnit, ...], ...]:
+        """Units per shard: round-robin over the canonical unit order.
+
+        Round-robin interleaves each app's slices across shards, so a
+        shard never ends up holding all of the most expensive app.  Empty
+        shards (more shards than units) are dropped.
+        """
+        groups = tuple(
+            tuple(self.units[i :: self.n_shards])
+            for i in range(self.n_shards)
+        )
+        return tuple(g for g in groups if g)
+
+
+def clamp_shard_workers(
+    requested: int, cpu_count: int | None = None
+) -> tuple[int, str | None]:
+    """Clamp a worker-process request to the host's usable cores.
+
+    Mirrors the microbench pool clamp (``benchmarks/test_perf_microbench.py``):
+    on a host with fewer cores than requested shards, extra worker
+    processes only add pool overhead, so the pool never exceeds the CPU
+    count.  Returns ``(effective_workers, note)`` where ``note`` is a
+    human-readable explanation to record in benchmark JSON (``None`` when
+    nothing was clamped).
+    """
+    if requested < 1:
+        raise ValueError(f"requested workers must be >= 1, got {requested}")
+    cpus = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
+    effective = min(requested, cpus)
+    if effective == requested:
+        return requested, None
+    return effective, (
+        f"clamped shard workers {requested} -> {effective}: host has "
+        f"{cpus} usable core(s); extra worker processes cannot beat them"
+    )

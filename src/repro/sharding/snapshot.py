@@ -1,0 +1,238 @@
+"""Picklable run snapshots and the commutative barrier merge.
+
+A shard worker cannot ship a live :class:`~repro.simulator.metrics.RunMetrics`
+across a process boundary (oracles, pools and timers hang off it through
+the gateway), so each finished unit is reduced to a :class:`UnitSnapshot`:
+plain-data counters plus the exact states of its streaming accumulators
+(:meth:`QuantileSketch.to_state`, :meth:`StreamingStats.to_state`,
+:meth:`BillingFold.to_state`).  A :class:`ShardSnapshot` is a canonically
+ordered set of unit snapshots; :func:`merge_snapshots` unions them.
+
+Merge algebra — why the reducer is *bit-for-bit* commutative and
+associative (pinned by ``tests/test_sharding.py``): merging never adds
+floats.  It only unions leaf snapshots, and :class:`ShardSnapshot`
+normalizes its units into canonical ``(app, slice_index)`` order, so any
+merge tree over any shard ordering produces the *same object*.  All
+floating-point reduction is deferred to :meth:`ShardSnapshot.per_app_metrics`,
+which folds the leaves in canonical order — the identical fold a 1-shard
+run performs — making merged counters, costs, availability, goodput and
+conservation sums bit-identical regardless of how many processes ran the
+plan.  Latency quantiles come from t-digest merges in the same canonical
+order, and stay within the sketch's documented rank-error bound of the
+per-unit exact distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.metrics.sketch import QuantileSketch, StreamingStats
+from repro.simulator.metrics import BillingFold, RunMetrics
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    pass
+
+__all__ = ["UnitSnapshot", "ShardSnapshot", "merge_snapshots"]
+
+#: RunMetrics integer counters carried verbatim on a UnitSnapshot and
+#: summed (exactly) at collapse time.  Order matters only for readability.
+_COUNTER_FIELDS = (
+    "unfinished",
+    "timed_out",
+    "stage_executions",
+    "cold_stage_executions",
+    "initializations",
+    "failed_initializations",
+    "stage_retries",
+    "failed_executions",
+    "fallbacks",
+    "completed_count",
+    "sla_violation_count",
+    "within_sla_count",
+)
+
+
+@dataclass(frozen=True)
+class UnitSnapshot:
+    """Everything one finished unit contributes to the merged run.
+
+    Extracted from a **sealed** sketch-retention
+    :class:`~repro.simulator.metrics.RunMetrics` (see
+    :meth:`from_metrics`); plain data end to end, so it pickles under both
+    fork and spawn start methods and hashes/compares structurally.
+    """
+
+    app: str
+    policy: str
+    sla: float
+    slice_index: int
+    n_slices: int
+    duration: float
+    counters: tuple[int, ...]  # values of _COUNTER_FIELDS, in order
+    sketch_state: tuple  # QuantileSketch.to_state()
+    stats_state: tuple  # StreamingStats.to_state()
+    billing_state: tuple  # BillingFold.to_state()
+    events_processed: int = 0
+    #: Host timing, not simulation outcome — excluded from equality so two
+    #: runs of the same unit compare equal bit for bit.
+    wall_clock: float = field(default=0.0, compare=False)
+
+    @property
+    def key(self) -> tuple[str, int]:
+        """Canonical identity: one snapshot per (app, slice)."""
+        return (self.app, self.slice_index)
+
+    @classmethod
+    def from_metrics(
+        cls,
+        metrics: RunMetrics,
+        *,
+        slice_index: int = 0,
+        n_slices: int = 1,
+        events_processed: int = 0,
+        wall_clock: float = 0.0,
+    ) -> "UnitSnapshot":
+        """Extract the snapshot of one sealed sketch-retention run.
+
+        This is the extraction that used to be scattered across
+        ``Gateway.finalize`` consumers: conservation and fault counters,
+        the billing fold, and the latency sketch/stats states, reduced to
+        one picklable record.
+        """
+        if metrics.retention != "sketch":
+            raise ValueError(
+                "unit snapshots require retention='sketch'; a full-retention "
+                "run retains unmergeable per-record state "
+                f"(got retention={metrics.retention!r})"
+            )
+        return cls(
+            app=metrics.app,
+            policy=metrics.policy,
+            sla=metrics.sla,
+            slice_index=slice_index,
+            n_slices=n_slices,
+            duration=metrics.duration,
+            counters=tuple(
+                int(getattr(metrics, name)) for name in _COUNTER_FIELDS
+            ),
+            sketch_state=metrics.latency_sketch.to_state(),
+            stats_state=metrics.latency_stats.to_state(),
+            billing_state=metrics.billing.to_state(),
+            events_processed=int(events_processed),
+            wall_clock=float(wall_clock),
+        )
+
+    def to_metrics(self) -> RunMetrics:
+        """Rebuild a standalone sketch-retention ``RunMetrics`` (exact)."""
+        metrics = RunMetrics(
+            app=self.app,
+            policy=self.policy,
+            sla=self.sla,
+            retention="sketch",
+            duration=self.duration,
+            latency_sketch=QuantileSketch.from_state(self.sketch_state),
+            latency_stats=StreamingStats.from_state(self.stats_state),
+            billing=BillingFold.from_state(self.billing_state),
+        )
+        for name, value in zip(_COUNTER_FIELDS, self.counters):
+            setattr(metrics, name, value)
+        return metrics
+
+
+@dataclass(frozen=True)
+class ShardSnapshot:
+    """A set of unit snapshots in canonical order, mergeable at the barrier."""
+
+    units: tuple[UnitSnapshot, ...]
+
+    def __post_init__(self) -> None:
+        keys = [u.key for u in self.units]
+        if len(set(keys)) != len(keys):
+            raise ValueError(f"duplicate units in snapshot: {sorted(keys)}")
+        object.__setattr__(
+            self, "units", tuple(sorted(self.units, key=lambda u: u.key))
+        )
+
+    # ------------------------------------------------------------- queries
+    @property
+    def events_processed(self) -> int:
+        """Simulator events across every unit (exact integer sum)."""
+        return sum(u.events_processed for u in self.units)
+
+    @property
+    def busy_seconds(self) -> float:
+        """Summed per-unit simulation wall-clock (CPU-time proxy)."""
+        return sum(u.wall_clock for u in self.units)
+
+    @property
+    def apps(self) -> tuple[str, ...]:
+        """Distinct application names, sorted."""
+        return tuple(sorted({u.app for u in self.units}))
+
+    def per_app_metrics(self) -> dict[str, RunMetrics]:
+        """Collapse the units into one merged ``RunMetrics`` per app.
+
+        Folding happens here, in canonical (app, slice) order, so the
+        result is a pure function of the unit *set* — identical no matter
+        which processes produced the units or in which order snapshots
+        were merged.  ``duration`` sums across slices (total simulated
+        seconds); counters and billing sum exactly; sketches and stats
+        merge in slice order.
+        """
+        grouped: dict[str, list[UnitSnapshot]] = {}
+        for unit in self.units:  # already canonically sorted
+            grouped.setdefault(unit.app, []).append(unit)
+        merged: dict[str, RunMetrics] = {}
+        for app, units in grouped.items():
+            expected = set(range(units[0].n_slices))
+            got = {u.slice_index for u in units}
+            if {u.n_slices for u in units} != {units[0].n_slices} or (
+                got != expected
+            ):
+                raise ValueError(
+                    f"app {app!r} snapshot is incomplete: have slices "
+                    f"{sorted(got)}, expected {sorted(expected)}"
+                )
+            metrics = units[0].to_metrics()
+            for unit in units[1:]:
+                if unit.policy != metrics.policy or unit.sla != metrics.sla:
+                    raise ValueError(
+                        f"app {app!r} units disagree on policy/SLA"
+                    )
+                metrics.duration += unit.duration
+                for name, value in zip(_COUNTER_FIELDS, unit.counters):
+                    setattr(metrics, name, getattr(metrics, name) + value)
+                metrics.latency_sketch.merge(
+                    QuantileSketch.from_state(unit.sketch_state)
+                )
+                metrics.latency_stats.merge(
+                    StreamingStats.from_state(unit.stats_state)
+                )
+                metrics.billing.merge(BillingFold.from_state(unit.billing_state))
+            merged[app] = metrics
+        return merged
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        """Merged per-app summaries (the macro bench's record shape)."""
+        return {
+            app: metrics.summary()
+            for app, metrics in self.per_app_metrics().items()
+        }
+
+
+def merge_snapshots(*snapshots: ShardSnapshot) -> ShardSnapshot:
+    """Union shard snapshots: the pure, commutative, associative reducer.
+
+    No floats are combined here — the union is re-canonicalized by
+    :class:`ShardSnapshot`, so every merge tree over every argument order
+    yields an *equal* snapshot (bit-for-bit, including the metrics later
+    collapsed from it).  Duplicate (app, slice) units are rejected: a unit
+    must be simulated by exactly one shard.
+    """
+    if not snapshots:
+        raise ValueError("need at least one snapshot to merge")
+    units: list[UnitSnapshot] = []
+    for snap in snapshots:
+        units.extend(snap.units)
+    return ShardSnapshot(units=tuple(units))

@@ -1124,15 +1124,7 @@ class Gateway:
             for inst in list(pool):
                 if inst.is_live:
                     self._terminate(inst, reason="shutdown")
-        self.metrics.duration = now
-        self.metrics.unfinished = self._open_invocations
-        if not self._sketch:
-            # Unfinished invocations are SLA violations by definition; drop
-            # them from the completed list so latency stats cover finished
-            # ones only.  (Sketch retention never appended them.)
-            self.metrics.invocations = [
-                inv for inv in self.metrics.invocations if inv.finished
-            ]
+        self.metrics.seal(duration=now, unfinished=self._open_invocations)
         if self._rec is not None:
             self._rec.emit(
                 RunFinished(

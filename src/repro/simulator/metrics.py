@@ -97,6 +97,72 @@ class BillingFold:
         row["cost"] += usage.cost
         row["served"] += usage.invocations_served
 
+    def merge(self, other: "BillingFold") -> None:
+        """Fold another (shard's) billing fold in.
+
+        Exact in the same sense as :meth:`fold`: every figure is the plain
+        float sum of the two partial sums, so folding shard results in a
+        fixed order reproduces a single-process fold of the same
+        termination stream bit for bit.
+        """
+        self.total_cost += other.total_cost
+        self.cpu_cost += other.cpu_cost
+        self.gpu_cost += other.gpu_cost
+        self.init_cost += other.init_cost
+        self.busy_cost += other.busy_cost
+        self.idle_cost += other.idle_cost
+        self.instances += other.instances
+        for fn, src in other.per_function.items():
+            row = self.per_function.setdefault(
+                fn, {"instances": 0, "lifetime": 0.0, "cost": 0.0, "served": 0}
+            )
+            for key, value in src.items():
+                row[key] += value
+
+    # ------------------------------------------------------------ snapshots
+    def to_state(self) -> tuple:
+        """Picklable plain-data state (used by :mod:`repro.sharding`).
+
+        ``per_function`` is flattened to a name-sorted tuple of rows so the
+        state is hashable and its equality is independent of dict insertion
+        order.
+        """
+        return (
+            self.total_cost,
+            self.cpu_cost,
+            self.gpu_cost,
+            self.init_cost,
+            self.busy_cost,
+            self.idle_cost,
+            self.instances,
+            tuple(
+                (fn, row["instances"], row["lifetime"], row["cost"], row["served"])
+                for fn, row in sorted(self.per_function.items())
+            ),
+        )
+
+    @classmethod
+    def from_state(cls, state: tuple) -> "BillingFold":
+        """Rebuild a fold from a :meth:`to_state` snapshot (exact)."""
+        (total, cpu, gpu, init, busy, idle, instances, rows) = state
+        fold = cls(
+            total_cost=total,
+            cpu_cost=cpu,
+            gpu_cost=gpu,
+            init_cost=init,
+            busy_cost=busy,
+            idle_cost=idle,
+            instances=instances,
+        )
+        for fn, n, lifetime, cost, served in rows:
+            fold.per_function[fn] = {
+                "instances": n,
+                "lifetime": lifetime,
+                "cost": cost,
+                "served": served,
+            }
+        return fold
+
 
 @dataclass
 class RunMetrics:
@@ -200,6 +266,23 @@ class RunMetrics:
             self.instances.append(usage)
         else:
             self.billing.fold(usage)
+
+    def seal(self, *, duration: float, unfinished: int) -> None:
+        """Seal the run: record the horizon and the still-open invocations.
+
+        Extracted from ``Gateway._finalize`` so every finalization path —
+        live gateways, trace reconstruction, shard workers — closes a
+        metrics object the same way.  Under ``full`` retention the
+        unfinished records are dropped from the completed list (they are
+        SLA violations by definition and must not pollute latency
+        statistics); sketch retention never appended them.
+        """
+        self.duration = duration
+        self.unfinished = unfinished
+        if self.retention == "full":
+            self.invocations = [
+                inv for inv in self.invocations if inv.finished
+            ]
 
     @property
     def n_completed(self) -> int:

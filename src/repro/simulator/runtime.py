@@ -65,6 +65,28 @@ def derive_app_seed(seed: int, app_name: str) -> int:
     return int.from_bytes(digest, "big")
 
 
+def derive_slice_seed(
+    seed: int, app_name: str, slice_index: int, n_slices: int
+) -> int:
+    """Order-independent seed for one trace time-slice of an application.
+
+    The shard plane (:mod:`repro.sharding`) partitions a single app's
+    trace into ``n_slices`` contiguous windows, each simulated as its own
+    runtime.  Every slice gets its own noise streams — derived, like
+    :func:`derive_app_seed`, only from stable names, never from which
+    shard or process runs the slice.  An unsliced unit
+    (``n_slices == 1``) collapses to the plain per-app derivation so a
+    one-slice shard run reproduces a standalone per-app run bit for bit.
+    """
+    if not 0 <= slice_index < n_slices:
+        raise ValueError(
+            f"slice_index must be in [0, {n_slices}), got {slice_index}"
+        )
+    if n_slices == 1:
+        return derive_app_seed(seed, app_name)
+    return derive_app_seed(seed, f"{app_name}#slice{slice_index}/{n_slices}")
+
+
 @dataclass(frozen=True)
 class Deployment:
     """One application with its trace and scheduling policy."""

@@ -1,0 +1,175 @@
+"""Differential tests: sharded runs vs the 1-shard reference.
+
+The shard plane's correctness bar (ISSUE 7): a 4-shard run of a plan
+merges to **bit-identical** non-distributional metrics — costs, counters,
+violation/availability/goodput ratios, conservation sums — as a 1-shard
+run of the same plan, because both simulate exactly the same (app ×
+trace-slice) units with the same seeds and collapse them in the same
+canonical order.  Latency quantiles from the merged sketch stay within
+the sketch's documented rank-error bound of the exact per-unit latencies.
+
+A chaos cell (FaultPlan with execution faults + resilience knobs) pins
+that fault counters survive the barrier merge too.
+
+The full-scale 100k-invocation version of this differential runs in the
+benchmark tier (``benchmarks/test_perf_macrobench.py``); these runs are
+sized for tier-1.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from tests.test_retention_differential import COUNTERS, EXACT_FIELDS
+
+from repro.experiments.parallel import EnvSpec, _environment
+from repro.faults.plan import ExecutionFault, FaultPlan, ResilienceSpec
+from repro.sharding import ShardPlan, run_sharded
+from repro.simulator import ServerlessSimulator
+from repro.simulator.runtime import derive_slice_seed
+
+APPS = ("amber-alert", "image-query", "voice-assistant")
+
+
+def _envs(apps, duration):
+    return tuple(
+        EnvSpec(app=app, preset="flood", sla=2.0, duration=duration)
+        for app in apps
+    )
+
+
+def assert_metrics_identical(merged: dict, reference: dict) -> None:
+    """Field-by-field parity: summaries and raw counters, NaN == NaN."""
+    assert set(merged) == set(reference)
+    for app in merged:
+        ms, rs = merged[app].summary(), reference[app].summary()
+        for key in EXACT_FIELDS:
+            a, b = ms[key], rs[key]
+            assert a == b or (math.isnan(a) and math.isnan(b)), (
+                f"{app}.{key}: sharded={a!r} reference={b!r}"
+            )
+        for key in COUNTERS:
+            assert getattr(merged[app], key) == getattr(
+                reference[app], key
+            ), (app, key)
+        assert merged[app].n_completed == reference[app].n_completed
+        assert merged[app].cost_breakdown() == reference[app].cost_breakdown()
+        assert merged[app].duration == reference[app].duration
+
+
+class TestFourShardParity:
+    """The headline differential: 4 shards vs 1 shard, same plan."""
+
+    DURATION = 400.0
+
+    @pytest.fixture(scope="class")
+    def snapshots(self):
+        envs = _envs(APPS, self.DURATION)
+        plan4 = ShardPlan.for_apps(APPS, n_shards=4, slices_per_app=4)
+        plan1 = ShardPlan.for_apps(APPS, n_shards=1, slices_per_app=4)
+        # Serial reference first: with the fork start method the pool
+        # workers then inherit this process's warm environment cache.
+        reference = run_sharded(plan1, envs, "grandslam", processes=1)
+        sharded = run_sharded(plan4, envs, "grandslam")
+        return sharded, reference, envs
+
+    def test_snapshots_bit_identical(self, snapshots):
+        sharded, reference, _ = snapshots
+        # Dataclass equality covers every unit's counters and the exact
+        # accumulator states (sketch centroids, stats, billing sums).
+        assert sharded == reference
+
+    def test_merged_metrics_field_by_field(self, snapshots):
+        sharded, reference, _ = snapshots
+        assert_metrics_identical(
+            sharded.per_app_metrics(), reference.per_app_metrics()
+        )
+
+    def test_conservation_across_slices(self, snapshots):
+        sharded, _, envs = snapshots
+        merged = sharded.per_app_metrics()
+        for env in envs:
+            arrivals = len(_environment(env).trace)
+            m = merged[env.app]
+            assert m.n_completed + m.unfinished + m.timed_out == arrivals, (
+                env.app
+            )
+            assert m.n_completed > 0
+
+    def test_merged_quantiles_within_rank_bound(self, snapshots):
+        """Merged sketch quantiles vs exact full-retention references.
+
+        Rebuilds each unit with ``retention="full"`` (same sliced trace,
+        same derived seed — the simulations are bit-identical across
+        retention modes) and checks the merged sketch against the
+        concatenated exact latencies.
+        """
+        sharded, _, envs = snapshots
+        merged = sharded.per_app_metrics()
+        env = envs[1]  # image-query: mid-size app keeps this affordable
+        built = _environment(env)
+        n_slices = 4
+        width = built.trace.duration / n_slices
+        lats = []
+        for i in range(n_slices):
+            end = built.trace.duration if i == n_slices - 1 else (i + 1) * width
+            sliced = built.trace.slice(i * width, end)
+            metrics = ServerlessSimulator(
+                built.app,
+                sliced,
+                built.make_policy("grandslam"),
+                seed=derive_slice_seed(3, env.app, i, n_slices),
+                retention="full",
+            ).run()
+            lats.append(metrics.latencies())
+        lat = np.sort(np.concatenate(lats))
+        m = merged[env.app]
+        assert m.n_completed == lat.size
+        assert lat.size > m.latency_sketch.compression  # past exact regime
+        bound = m.latency_sketch.rank_error_bound
+        for q in (50.0, 90.0, 99.0):
+            value = m.latency_percentile(q)
+            lo = np.searchsorted(lat, value, side="left") / lat.size
+            hi = np.searchsorted(lat, value, side="right") / lat.size
+            target = q / 100.0
+            err = (
+                0.0
+                if lo <= target <= hi
+                else min(abs(target - lo), abs(target - hi))
+            )
+            assert err <= bound + 1e-12, (q, err, bound)
+
+
+class TestChaosParity:
+    """Fault counters survive the barrier merge bit for bit."""
+
+    def test_fault_counters_survive_merge(self):
+        plan2 = ShardPlan.for_apps(
+            ["image-query"], n_shards=2, slices_per_app=2
+        )
+        plan1 = ShardPlan.for_apps(
+            ["image-query"], n_shards=1, slices_per_app=2
+        )
+        envs = _envs(["image-query"], 300.0)
+        faults = FaultPlan(
+            execution_faults=(ExecutionFault(rate=0.25),),
+            resilience=ResilienceSpec(
+                max_retries=6, retry_backoff=0.3, deadline_factor=4.0
+            ),
+        )
+        sharded = run_sharded(plan2, envs, "grandslam", faults=faults)
+        reference = run_sharded(
+            plan1, envs, "grandslam", processes=1, faults=faults
+        )
+        assert sharded == reference
+        merged = sharded.per_app_metrics()
+        ref = reference.per_app_metrics()
+        assert_metrics_identical(merged, ref)
+        m = merged["image-query"]
+        # The chaos actually bit — and the bites made it through the merge.
+        assert m.stage_retries > 0
+        assert m.failed_executions > 0
+        assert m.availability() <= 1.0
