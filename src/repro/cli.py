@@ -6,7 +6,10 @@ Subcommands wrap the :mod:`repro.experiments` runners:
 - ``sweep``     — SLA sweep under one policy
 - ``multiapp``  — co-run all three evaluation apps on one cluster
 - ``scenario``  — run a declarative JSON scenario spec (apps × policies ×
-  SLAs × presets × seeds, optionally co-run) through the experiment grid
+  SLAs × presets × seeds, optionally co-run) through the experiment grid;
+  ``--preset llm|gpu-swap`` runs a built-in validated scenario pack
+  instead, and ``--azure-trace PATH`` replays the published Azure
+  Functions CSV as the evaluation trace
 - ``trace``     — run one cell with telemetry on: JSONL event trace,
   optional Chrome/Perfetto export, decision audit, and a trace→metrics
   reconstruction check
@@ -26,6 +29,9 @@ Examples::
     python -m repro.cli sweep amber-alert --slas 1 2 4 8
     python -m repro.cli multiapp --policy smiless --workers 2
     python -m repro.cli scenario spec.json --workers 4 --json
+    python -m repro.cli scenario --preset llm --workers 4
+    python -m repro.cli scenario --preset gpu-swap
+    python -m repro.cli scenario spec.json --azure-trace azurefunctions.csv
     python -m repro.cli trace image-query --out run.jsonl --chrome run.trace.json
     python -m repro.cli report image-query --from-trace run.jsonl
     python -m repro.cli bench --macro --invocations 1000000
@@ -41,6 +47,7 @@ import math
 import sys
 
 from repro.experiments import (
+    PACK_NAMES,
     ScenarioSpec,
     build_environment,
     run_comparison,
@@ -152,9 +159,72 @@ def cmd_multiapp(args) -> int:
     return 0
 
 
+def _print_scenario_rows(rows) -> None:
+    print(
+        f"{'app':<16} {'preset':<8} {'sla':>5} {'policy':<16} {'cost':>9} "
+        f"{'violations':>11} {'mean lat':>9} {'p99 lat':>8} {'reinit':>7}"
+    )
+    for s in rows:
+        r = s.row
+        print(
+            f"{s.app:<16} {s.preset:<8} {s.sla:>4.1f}s {s.policy:<16} "
+            f"${r.total_cost:>8.4f} {r.violation_ratio:>10.1%} "
+            f"{r.mean_latency:>8.2f}s {r.p99_latency:>7.2f}s "
+            f"{r.reinit_fraction:>6.1%}"
+        )
+
+
+def _cmd_scenario_pack(args) -> int:
+    from repro.experiments import run_pack
+
+    report = run_pack(
+        args.preset, workers=args.workers, azure_trace=args.azure_trace
+    )
+    if args.json:
+        doc = {
+            "pack": report.pack,
+            "ok": report.ok,
+            "checks": [
+                {"name": c.name, "passed": c.passed, "detail": c.detail}
+                for c in report.checks
+            ],
+            "cells": [
+                {
+                    "app": res.spec.env.app,
+                    "policy": res.spec.policy,
+                    "sim_seed": res.spec.sim_seed,
+                    "summary": _json_safe(res.summary),
+                    "extras": res.extras,
+                }
+                for res in report.results
+            ],
+        }
+        print(json.dumps(doc, indent=2))
+        return 0 if report.ok else 1
+    n = len(report.results)
+    print(f"scenario pack {report.pack!r}: {n} cell(s)\n")
+    _print_scenario_rows(report.rows())
+    print()
+    for c in report.checks:
+        mark = "PASS" if c.passed else "FAIL"
+        print(f"[{mark}] {c.name}: {c.detail}")
+    return 0 if report.ok else 1
+
+
 def cmd_scenario(args) -> int:
+    if (args.spec is None) == (args.preset is None):
+        print(
+            "scenario: provide exactly one of SPEC (a JSON file) or "
+            f"--preset {{{','.join(PACK_NAMES)}}}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.preset is not None:
+        return _cmd_scenario_pack(args)
     spec = ScenarioSpec.from_json(args.spec)
     overrides = {}
+    if args.azure_trace is not None:
+        overrides["azure_trace"] = args.azure_trace
     if args.trace_dir is not None:
         overrides["trace_dir"] = args.trace_dir
     if args.retention is not None:
@@ -196,18 +266,7 @@ def cmd_scenario(args) -> int:
         f"{' [co-run]' if spec.co_run else ''}\n"
     )
     rows = run_scenario(spec, workers=args.workers)
-    print(
-        f"{'app':<16} {'preset':<8} {'sla':>5} {'policy':<16} {'cost':>9} "
-        f"{'violations':>11} {'mean lat':>9} {'p99 lat':>8} {'reinit':>7}"
-    )
-    for s in rows:
-        r = s.row
-        print(
-            f"{s.app:<16} {s.preset:<8} {s.sla:>4.1f}s {s.policy:<16} "
-            f"${r.total_cost:>8.4f} {r.violation_ratio:>10.1%} "
-            f"{r.mean_latency:>8.2f}s {r.p99_latency:>7.2f}s "
-            f"{r.reinit_fraction:>6.1%}"
-        )
+    _print_scenario_rows(rows)
     return 0
 
 
@@ -592,9 +651,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_multiapp)
 
     p = sub.add_parser(
-        "scenario", help="run a declarative JSON scenario spec"
+        "scenario",
+        help="run a declarative JSON scenario spec or a built-in pack",
     )
-    p.add_argument("spec", help="path to a ScenarioSpec JSON file")
+    p.add_argument(
+        "spec",
+        nargs="?",
+        default=None,
+        help="path to a ScenarioSpec JSON file (omit with --preset)",
+    )
+    p.add_argument(
+        "--preset",
+        default=None,
+        choices=PACK_NAMES,
+        help="run a built-in scenario pack (every registered policy, "
+        "invariants validated) instead of a JSON spec",
+    )
+    p.add_argument(
+        "--azure-trace",
+        default=None,
+        metavar="PATH",
+        help="replay the published Azure Functions CSV at PATH as every "
+        "cell's evaluation trace",
+    )
     p.add_argument(
         "--workers",
         type=int,

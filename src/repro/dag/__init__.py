@@ -11,7 +11,10 @@ from repro.dag.apps import (
     amber_alert,
     evaluation_apps,
     image_query,
+    image_query_swap,
     linear_pipeline,
+    llm_chat,
+    llm_profile,
     random_dag,
     voice_assistant,
 )
@@ -34,6 +37,9 @@ __all__ = [
     "model_names",
     "amber_alert",
     "image_query",
+    "image_query_swap",
+    "llm_chat",
+    "llm_profile",
     "voice_assistant",
     "evaluation_apps",
     "linear_pipeline",

@@ -8,14 +8,33 @@ synthetic applications for the overhead study (Fig. 16) and property tests.
 
 from __future__ import annotations
 
+import dataclasses
+
 import numpy as np
 
 from repro.dag.graph import AppDAG, FunctionSpec
 from repro.dag.models import get_profile, model_names
+from repro.hardware.configs import Backend
+from repro.hardware.perfmodel import InitTimeParams, LatencyParams, PerfProfile
+from repro.hardware.servicetime import (
+    TokenBackendCurve,
+    TokenServiceTime,
+    TokenThroughputCurve,
+    WorkUnit,
+)
 from repro.utils.rng import ensure_rng
+from repro.workload.generator import TokenWorkModel
 
 #: Default SLA target (seconds) used throughout the evaluation (§VII-A).
 DEFAULT_SLA = 2.0
+
+#: Default SLA for the LLM archetype — generation is long and heavy-tailed,
+#: so the paper's 2 s target would be unconditionally infeasible.
+LLM_SLA = 6.0
+
+#: Host→GPU swap-in time as a fraction of the GPU cold-start mean
+#: (Torpor/FaaSwap report order-of-magnitude gaps; we use ~1/8).
+SWAP_FRACTION = 0.12
 
 
 def _spec(name: str, model: str | None = None) -> FunctionSpec:
@@ -73,6 +92,91 @@ def voice_assistant(sla: float = DEFAULT_SLA) -> AppDAG:
 def evaluation_apps(sla: float = DEFAULT_SLA) -> tuple[AppDAG, AppDAG, AppDAG]:
     """The three Fig. 7 workloads with a common SLA target."""
     return (amber_alert(sla), image_query(sla), voice_assistant(sla))
+
+
+def llm_profile(typical: WorkUnit | None = None) -> PerfProfile:
+    """Ground truth for a mid-size generative LLM stage (beyond the paper).
+
+    Service time is token-driven (:class:`TokenServiceTime`): prefill
+    processes the prompt in parallel, decode generates output tokens
+    autoregressively at a resources-dependent tokens/sec rate.  The
+    ``cpu``/``gpu`` latency laws carried alongside are the typical-work
+    collapse of the token model, so planners that never pass work (the
+    profiler grid, the co-optimizer) see a consistent fixed-latency view.
+    Cold starts are heavy (multi-GB weights); numbers follow the Table I
+    conventions (λ, network constant, init dispersion).
+    """
+    typical = typical or WorkUnit(tokens_in=256, tokens_out=128)
+    tokens = TokenServiceTime(
+        cpu=TokenBackendCurve(
+            prefill=TokenThroughputCurve(lam=1.08, alpha=0.02, beta=0.001),
+            decode=TokenThroughputCurve(lam=1.08, alpha=0.05, beta=0.01),
+            gamma=0.02,
+        ),
+        gpu=TokenBackendCurve(
+            prefill=TokenThroughputCurve(lam=1.0, alpha=0.0004, beta=0.0002),
+            decode=TokenThroughputCurve(lam=1.0, alpha=0.002, beta=0.008),
+            gamma=0.02,
+        ),
+        typical=typical,
+    )
+    return PerfProfile(
+        name="LLM",
+        cpu=LatencyParams(*tokens.equivalent_law(Backend.CPU)),
+        gpu=LatencyParams(*tokens.equivalent_law(Backend.GPU)),
+        init_cpu=InitTimeParams(mean=4.0, std=0.32),
+        init_gpu=InitTimeParams(mean=12.0, std=1.44),
+        mem_knee_gb=10.0,
+        max_batch=8,
+        service_model=tokens,
+    )
+
+
+def llm_chat(sla: float = LLM_SLA) -> AppDAG:
+    """LLM chat archetype: guard → generate → safety filter.
+
+    A lightweight classifier gates the prompt, a token-driven LLM stage
+    generates the reply, and a moderation model screens the output.  The
+    application carries a :class:`~repro.workload.generator.TokenWorkModel`
+    so every invocation draws its own prompt/generation lengths — service
+    times are variable and heavy-tailed, the regime the fixed-latency
+    paper model cannot express.
+    """
+    work = TokenWorkModel()
+    functions = [
+        _spec("GD", "DB"),
+        FunctionSpec(name="LLM", profile=llm_profile(work.typical)),
+        _spec("SF", "TM"),
+    ]
+    edges = [("GD", "LLM"), ("LLM", "SF")]
+    return AppDAG("llm-chat", functions, edges, sla=sla, work_model=work)
+
+
+def _swap_capable(profile: PerfProfile, fraction: float = SWAP_FRACTION) -> PerfProfile:
+    """A copy of ``profile`` whose model can page host↔GPU memory."""
+    mean = fraction * profile.init_gpu.mean
+    return dataclasses.replace(
+        profile, swap_gpu=InitTimeParams(mean=mean, std=0.2 * mean)
+    )
+
+
+def image_query_swap(sla: float = DEFAULT_SLA) -> AppDAG:
+    """WL2 with swap-capable models (Torpor/FaaSwap-style GPU paging).
+
+    Identical topology and latency laws to :func:`image_query`; the only
+    difference is that once a model's weights are host-resident, bringing
+    it onto a GPU costs a swap-in (≪ cold start) instead of a full
+    initialization.  Pairing runs of the two apps isolates the value of
+    swapping.
+    """
+    base = image_query(sla)
+    functions = [
+        dataclasses.replace(spec, profile=_swap_capable(spec.profile))
+        for spec in base.specs
+    ]
+    return AppDAG(
+        "image-query-swap", functions, tuple(base.graph.edges), sla=sla
+    )
 
 
 def linear_pipeline(

@@ -54,9 +54,14 @@ class AppDAG:
         functions: Iterable[FunctionSpec],
         edges: Iterable[tuple[str, str]],
         sla: float = 2.0,
+        work_model: object | None = None,
     ) -> None:
         self.name = name
         self.sla = float(sla)
+        # Optional per-invocation work distribution (e.g. a TokenWorkModel
+        # for LLM apps).  ``None`` — the default — means every invocation
+        # carries identical work and the gateway draws nothing extra.
+        self.work_model = work_model
         if self.sla <= 0:
             raise ValueError(f"sla must be > 0, got {sla}")
         self._functions: dict[str, FunctionSpec] = {}
@@ -249,7 +254,13 @@ class AppDAG:
 
     def with_sla(self, sla: float) -> "AppDAG":
         """A copy of this application with a different SLA target."""
-        return AppDAG(self.name, self.specs, tuple(self._graph.edges), sla=sla)
+        return AppDAG(
+            self.name,
+            self.specs,
+            tuple(self._graph.edges),
+            sla=sla,
+            work_model=self.work_model,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -9,6 +9,13 @@ All runners compile their axes through
 single :func:`~repro.experiments.parallel.run_grid` path.
 """
 
+from repro.experiments.packs import (
+    PACK_NAMES,
+    PackCheck,
+    PackReport,
+    pack_spec,
+    run_pack,
+)
 from repro.experiments.parallel import (
     CellResult,
     CellSpec,
@@ -30,6 +37,9 @@ from repro.experiments.scenario import ScenarioSpec
 
 __all__ = [
     "ComparisonRow",
+    "PACK_NAMES",
+    "PackCheck",
+    "PackReport",
     "ScenarioRow",
     "ScenarioSpec",
     "EnvSpec",
@@ -37,9 +47,11 @@ __all__ = [
     "MultiAppCellSpec",
     "CellResult",
     "build_environment",
+    "pack_spec",
     "product_grid",
     "run_grid",
     "run_comparison",
+    "run_pack",
     "run_sla_sweep",
     "run_multi_app",
     "run_scenario",

@@ -1,0 +1,238 @@
+"""Curated scenario packs: beyond-paper regimes with built-in validation.
+
+A *pack* is a named, pre-baked :class:`~repro.experiments.scenario.ScenarioSpec`
+plus the invariant checks that make its results trustworthy without manual
+inspection.  Two packs ship with the repo (``repro scenario --preset NAME``):
+
+``llm``
+    The token-driven LLM archetype (``llm-chat``) under every registered
+    policy.  Service times are work-dependent (per-invocation prompt and
+    generation lengths), the regime the paper's fixed-latency model cannot
+    express.
+
+``gpu-swap``
+    The swap-capable GPU regime: ``image-query-swap`` (host↔GPU model
+    paging) side by side with its no-swap twin ``image-query`` under every
+    registered policy, isolating what swapping buys.
+
+Every pack validates the conservation identity on each cell —
+``arrivals == completed + unfinished + timed_out``, with arrivals taken
+from the *trace*, not re-derived from the metrics — and the ``gpu-swap``
+pack additionally requires swap-in activity and a strict cold-start
+reduction versus the no-swap baseline for every policy that swapped.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.experiments.parallel import CellResult, run_grid
+from repro.experiments.runners import ComparisonRow, ScenarioRow
+from repro.experiments.scenario import ScenarioSpec
+from repro.policies import policy_names
+
+__all__ = [
+    "PACK_NAMES",
+    "PackCheck",
+    "PackReport",
+    "pack_spec",
+    "run_pack",
+]
+
+#: Pack runs are meant to finish in minutes on a laptop: a short horizon,
+#: a modest training history, every policy in the registry.
+PACK_DURATION = 180.0
+PACK_TRAIN_DURATION = 1200.0
+
+
+def _llm_spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        apps=("llm-chat",),
+        policies=tuple(policy_names()),
+        slas=(6.0,),
+        presets=("steady",),
+        seeds=(3,),
+        duration=PACK_DURATION,
+        train_duration=PACK_TRAIN_DURATION,
+    )
+
+
+def _gpu_swap_spec() -> ScenarioSpec:
+    # The swap app first: its rows lead the report, and the baseline twin
+    # follows at the same coordinates for a cell-by-cell comparison.
+    # Bursty arrivals under a tight SLA are the regime where swapping
+    # matters: GPU placements churn (instances expire between bursts and
+    # cold-launch again), so a host-resident model gets re-used instead of
+    # re-initialized.  Under steady load policies either keep their GPU
+    # instances warm forever or stay on CPU, and no swap ever fires.
+    return ScenarioSpec(
+        apps=("image-query-swap", "image-query"),
+        policies=tuple(policy_names()),
+        slas=(1.0,),
+        presets=("bursty",),
+        seeds=(3,),
+        duration=PACK_DURATION,
+        train_duration=PACK_TRAIN_DURATION,
+    )
+
+
+_PACK_BUILDERS: dict[str, Callable[[], ScenarioSpec]] = {
+    "llm": _llm_spec,
+    "gpu-swap": _gpu_swap_spec,
+}
+
+#: Names accepted by ``repro scenario --preset``.
+PACK_NAMES = tuple(_PACK_BUILDERS)
+
+
+def pack_spec(name: str, *, azure_trace: str | None = None) -> ScenarioSpec:
+    """The scenario spec behind a named pack (optionally on an Azure trace)."""
+    try:
+        spec = _PACK_BUILDERS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario pack {name!r}; available: {', '.join(PACK_NAMES)}"
+        ) from None
+    if azure_trace is not None:
+        spec = dataclasses.replace(spec, azure_trace=azure_trace)
+    return spec
+
+
+@dataclass(frozen=True)
+class PackCheck:
+    """One validated invariant of a pack run."""
+
+    name: str
+    passed: bool
+    detail: str
+
+
+@dataclass(frozen=True)
+class PackReport:
+    """Everything a pack run produced: spec, cell results, invariant checks."""
+
+    pack: str
+    spec: ScenarioSpec
+    results: list[CellResult]
+    checks: list[PackCheck]
+
+    @property
+    def ok(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    def rows(self) -> list[ScenarioRow]:
+        """Scenario-shaped rows (pack cells are always solo ``CellSpec``s)."""
+        return [
+            ScenarioRow(
+                app=res.spec.env.app,
+                preset=res.spec.env.preset,
+                sla=res.spec.env.sla,
+                env_seed=res.spec.env.seed,
+                sim_seed=res.spec.sim_seed,
+                policy=res.spec.policy,
+                row=ComparisonRow.from_summary(res.spec.policy, res.summary),
+            )
+            for res in self.results
+        ]
+
+
+def _cell_label(res: CellResult) -> str:
+    return f"{res.spec.env.app}/{res.spec.policy}"
+
+
+def _conservation_check(results: list[CellResult]) -> PackCheck:
+    bad = []
+    for res in results:
+        x = res.extras
+        accounted = x["completed"] + x["unfinished"] + x["timed_out"]
+        if x["arrivals"] != accounted:
+            bad.append(
+                f"{_cell_label(res)}: {x['arrivals']} arrivals vs "
+                f"{accounted} accounted"
+            )
+    detail = (
+        f"all {len(results)} cells conserve invocations"
+        if not bad
+        else "; ".join(bad)
+    )
+    return PackCheck(name="conservation", passed=not bad, detail=detail)
+
+
+def _progress_check(results: list[CellResult]) -> PackCheck:
+    stalled = [
+        _cell_label(res) for res in results if res.extras["completed"] == 0
+    ]
+    detail = (
+        "every cell completed invocations"
+        if not stalled
+        else f"no completions in: {', '.join(stalled)}"
+    )
+    return PackCheck(name="progress", passed=not stalled, detail=detail)
+
+
+def _swap_checks(results: list[CellResult]) -> list[PackCheck]:
+    """Swap-regime invariants: activity, and cold-start reduction vs twin.
+
+    An instance launch is a *cold start* when it pays the full
+    initialization; a swap-in replaces that with host→GPU paging, so the
+    swap app's cold-start count is ``initializations - swap_ins``.  The
+    reduction check is per policy and only binds where the policy actually
+    swapped (CPU-only placements never touch the residency cache).
+    """
+    by_policy: dict[str, dict[str, CellResult]] = {}
+    for res in results:
+        by_policy.setdefault(res.spec.policy, {})[res.spec.env.app] = res
+    total_swaps = 0
+    regressions = []
+    compared = 0
+    for policy, cells in sorted(by_policy.items()):
+        swap = cells.get("image-query-swap")
+        base = cells.get("image-query")
+        if swap is None or base is None:
+            continue
+        swap_ins = swap.extras["swap_ins"]
+        total_swaps += swap_ins
+        if swap_ins == 0:
+            continue
+        compared += 1
+        cold = swap.extras["initializations"] - swap_ins
+        if cold >= base.extras["initializations"]:
+            regressions.append(
+                f"{policy}: {cold} cold starts with swapping vs "
+                f"{base.extras['initializations']} without"
+            )
+    checks = [
+        PackCheck(
+            name="swap-activity",
+            passed=total_swaps > 0,
+            detail=f"{total_swaps} swap-ins across all policies",
+        ),
+        PackCheck(
+            name="cold-start-reduction",
+            passed=not regressions and compared > 0,
+            detail=(
+                f"{compared} policies swapped; each has strictly fewer "
+                "cold starts than its no-swap twin"
+                if not regressions and compared > 0
+                else "; ".join(regressions) or "no policy swapped"
+            ),
+        ),
+    ]
+    return checks
+
+
+def run_pack(
+    name: str,
+    *,
+    workers: int = 1,
+    azure_trace: str | None = None,
+) -> PackReport:
+    """Run a named pack end-to-end and validate its invariants."""
+    spec = pack_spec(name, azure_trace=azure_trace)
+    results = run_grid(spec.cells(), workers=workers)
+    checks = [_conservation_check(results), _progress_check(results)]
+    if name == "gpu-swap":
+        checks.extend(_swap_checks(results))
+    return PackReport(pack=name, spec=spec, results=results, checks=checks)

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import lru_cache
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Sequence
@@ -38,6 +38,9 @@ class EnvSpec:
     duration: float = 600.0
     train_duration: float = 3600.0
     seed: int = 0
+    #: Path to a published Azure Functions CSV whose busiest row replays
+    #: as the evaluation trace (``None`` keeps the synthetic generator).
+    azure_trace: str | None = None
 
 
 @dataclass(frozen=True)
@@ -109,12 +112,19 @@ class MultiAppCellSpec:
 
 @dataclass(frozen=True)
 class CellResult:
-    """Outcome of one cell, with timing for the perf microbench."""
+    """Outcome of one cell, with timing for the perf microbench.
+
+    ``extras`` carries counters absent from the golden-pinned
+    ``summary()`` key set (conservation terms, swap-in counts): flat for
+    a solo cell, keyed by app name for a co-run cell, empty for sharded
+    cells (the merged snapshot's summary is the contract there).
+    """
 
     spec: CellSpec
     summary: dict
     wall_clock: float
     events_processed: int
+    extras: dict = field(default_factory=dict)
 
     @property
     def events_per_second(self) -> float:
@@ -136,6 +146,7 @@ def _environment(spec: EnvSpec):
         duration=spec.duration,
         train_duration=spec.train_duration,
         seed=spec.seed,
+        azure_trace=spec.azure_trace,
     )
 
 
@@ -170,6 +181,25 @@ def _flush_trace(spec: CellSpec | MultiAppCellSpec, recorder) -> None:
     path = cell_trace_path(spec)
     path.parent.mkdir(parents=True, exist_ok=True)
     recorder.write_jsonl(path)
+
+
+def _metrics_extras(metrics, *, arrivals: int | None = None) -> dict:
+    """Conservation and swap counters not part of the pinned summary keys.
+
+    ``arrivals`` should be the *trace's* invocation count so that the
+    conservation identity ``arrivals == completed + unfinished + timed_out``
+    is an independent cross-check, not a tautology; ``None`` falls back to
+    the metrics-side sum (sharded paths that never see the trace).
+    """
+    accounted = metrics.n_completed + metrics.unfinished + metrics.timed_out
+    return {
+        "completed": metrics.n_completed,
+        "unfinished": metrics.unfinished,
+        "timed_out": metrics.timed_out,
+        "arrivals": accounted if arrivals is None else arrivals,
+        "initializations": metrics.initializations,
+        "swap_ins": metrics.swap_ins,
+    }
 
 
 def run_cell(spec: CellSpec | MultiAppCellSpec) -> CellResult:
@@ -210,6 +240,7 @@ def run_cell(spec: CellSpec | MultiAppCellSpec) -> CellResult:
         summary=metrics.summary(),
         wall_clock=wall,
         events_processed=sim.events.processed,
+        extras=_metrics_extras(metrics, arrivals=len(env.trace)),
     )
 
 
@@ -267,6 +298,7 @@ def _run_multiapp_cell(spec: MultiAppCellSpec) -> CellResult:
     from repro.simulator import Deployment, MultiAppSimulator
 
     envs = [_environment(e) for e in spec.envs]
+    by_app = {env.app.name: env for env in envs}
     recorder = _make_recorder(spec)
     start = time.perf_counter()
     deployments = [
@@ -290,6 +322,12 @@ def _run_multiapp_cell(spec: MultiAppCellSpec) -> CellResult:
         summary={name: m.summary() for name, m in results.items()},
         wall_clock=wall,
         events_processed=sim.events.processed,
+        extras={
+            name: _metrics_extras(
+                m, arrivals=len(by_app[name].trace) if name in by_app else None
+            )
+            for name, m in results.items()
+        },
     )
 
 

@@ -20,7 +20,13 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover - typing-only import
     from repro.faults.plan import FaultPlan
 
-from repro.dag import amber_alert, image_query, voice_assistant
+from repro.dag import (
+    amber_alert,
+    image_query,
+    image_query_swap,
+    llm_chat,
+    voice_assistant,
+)
 from repro.dag.graph import AppDAG
 from repro.experiments.parallel import (
     CellSpec,
@@ -39,12 +45,16 @@ from repro.simulator import (
     RunMetrics,
     ServerlessSimulator,
 )
-from repro.workload import AzureLikeWorkload, Trace
+from repro.workload import AzureLikeWorkload, AzureTraceWorkload, Trace
 
 APP_BUILDERS = {
     "amber-alert": amber_alert,
     "image-query": image_query,
     "voice-assistant": voice_assistant,
+    # Beyond-paper archetypes (see docs/paper_mapping.md): token-driven
+    # LLM serving and GPU model swapping.
+    "llm-chat": llm_chat,
+    "image-query-swap": image_query_swap,
 }
 
 #: All registered policy names (see :mod:`repro.policies.registry`).
@@ -89,8 +99,15 @@ def build_environment(
     duration: float = 600.0,
     train_duration: float = 3600.0,
     seed: int = 0,
+    azure_trace: str | None = None,
 ) -> Environment:
-    """Profile an evaluation app and synthesize its workload."""
+    """Profile an evaluation app and synthesize its workload.
+
+    ``azure_trace`` replays the published Azure Functions CSV at ``PATH``
+    as the *evaluation* trace (``repro scenario --azure-trace``); training
+    history stays synthetic (the dataset is one day — replaying it for
+    both would leak the eval arrivals into predictor training).
+    """
     try:
         app = APP_BUILDERS[app_name](sla=sla)
     except KeyError:
@@ -101,7 +118,14 @@ def build_environment(
     profiles = OfflineProfiler().profile_app(app, rng=seed)
     oracle = {s.name: oracle_profile(s.profile, n_sigma=1.0) for s in app.specs}
     train = AzureLikeWorkload.preset(preset, seed=seed).generate(train_duration)
-    trace = AzureLikeWorkload.preset(preset, seed=seed + 1000).generate(duration)
+    if azure_trace is not None:
+        trace = AzureTraceWorkload(azure_trace).generate(
+            duration, seed=seed + 1000
+        )
+    else:
+        trace = AzureLikeWorkload.preset(preset, seed=seed + 1000).generate(
+            duration
+        )
     train_counts = train.counts_per_window(1.0)
     # Predictor training is deterministic offline preparation, like
     # profiling: warm the shared predictor cache here so policy
@@ -120,6 +144,7 @@ def build_environment(
             duration=duration,
             train_duration=train_duration,
             seed=seed,
+            azure_trace=azure_trace,
         ),
     )
 

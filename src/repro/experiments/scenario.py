@@ -89,6 +89,10 @@ class ScenarioSpec:
     #: Trace slices per app in sharded cells.  Part of the experiment
     #: definition (it changes which simulations run), unlike ``shards``.
     slices_per_app: int = 1
+    #: Replay the published Azure Functions CSV at this path as every
+    #: cell's evaluation trace (``repro scenario --azure-trace PATH``);
+    #: ``None`` keeps the synthetic preset generator.
+    azure_trace: str | None = None
 
     def __post_init__(self) -> None:
         if not self.apps:
@@ -188,6 +192,7 @@ class ScenarioSpec:
             init_failure_rate=init_failure_rate,
             faults=faults,
             retention=retention,
+            azure_trace=env.azure_trace,
         )
 
     def to_dict(self) -> dict[str, Any]:
@@ -251,4 +256,5 @@ class ScenarioSpec:
             duration=self.duration,
             train_duration=self.train_duration,
             seed=self.env_seed,
+            azure_trace=self.azure_trace,
         )

@@ -30,6 +30,16 @@ from repro.hardware.perfmodel import (
     LatencyParams,
     PerfProfile,
 )
+from repro.hardware.servicetime import (
+    FixedServiceTime,
+    InitModel,
+    PerformanceOracle,
+    ServiceTimeModel,
+    TokenBackendCurve,
+    TokenServiceTime,
+    TokenThroughputCurve,
+    WorkUnit,
+)
 
 __all__ = [
     "Backend",
@@ -44,6 +54,14 @@ __all__ = [
     "InitTimeParams",
     "PerfProfile",
     "GroundTruthPerformance",
+    "ServiceTimeModel",
+    "InitModel",
+    "PerformanceOracle",
+    "FixedServiceTime",
+    "TokenThroughputCurve",
+    "TokenBackendCurve",
+    "TokenServiceTime",
+    "WorkUnit",
     "Measurement",
     "CalibrationResult",
     "latency_params_from_measurements",

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.hardware.configs import Backend, HardwareConfig
+from repro.hardware.servicetime import ServiceTimeModel, WorkUnit
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import check_positive
 
@@ -87,6 +88,19 @@ class PerfProfile:
     ``mem_knee_gb`` is the knee point of §IV-A2: SMIless provisions memory
     slightly above it, so memory never bottlenecks and does not enter the
     latency law.  ``max_batch`` bounds the adaptive-batching search.
+
+    Two optional extensions open regimes beyond the paper (both default to
+    absent, keeping the fixed-latency path bit-identical):
+
+    - ``service_model`` — a :class:`~repro.hardware.servicetime
+      .ServiceTimeModel` (e.g. :class:`~repro.hardware.servicetime
+      .TokenServiceTime`) that replaces the Eq. 1/2 law; ``cpu``/``gpu``
+      must then hold the model's typical-work equivalent law so planners
+      that never pass work stay consistent;
+    - ``swap_gpu`` — the host→GPU swap-in time model of a swap-capable
+      model (Torpor/FaaSwap-style).  Swap-in must be strictly faster than
+      a GPU cold start (validated here), which is what makes paging a
+      host-resident model preferable to re-initializing it.
     """
 
     name: str
@@ -97,6 +111,15 @@ class PerfProfile:
     mem_knee_gb: float = 2.0
     min_batch: int = 1
     max_batch: int = 32
+    service_model: ServiceTimeModel | None = None
+    swap_gpu: InitTimeParams | None = None
+
+    def __post_init__(self) -> None:
+        if self.swap_gpu is not None and self.swap_gpu.mean >= self.init_gpu.mean:
+            raise ValueError(
+                f"swap-in must beat a cold start: swap mean "
+                f"{self.swap_gpu.mean} >= init_gpu mean {self.init_gpu.mean}"
+            )
 
     def latency_params(self, backend: Backend) -> LatencyParams:
         """The latency law for ``backend``."""
@@ -106,8 +129,20 @@ class PerfProfile:
         """The initialization model for ``backend``."""
         return self.init_cpu if backend is Backend.CPU else self.init_gpu
 
-    def expected_inference_time(self, config: HardwareConfig, batch: int = 1) -> float:
-        """Noise-free inference latency under ``config`` for ``batch`` requests."""
+    def expected_inference_time(
+        self,
+        config: HardwareConfig,
+        batch: int = 1,
+        work: WorkUnit | None = None,
+    ) -> float:
+        """Noise-free inference latency under ``config`` for ``batch`` requests.
+
+        ``work`` feeds the pluggable ``service_model`` when one is
+        attached; profiles without one evaluate the Eq. 1/2 law directly
+        (the original, golden-pinned code path).
+        """
+        if self.service_model is not None:
+            return self.service_model.expected(config, batch, work)
         if config.backend is Backend.CPU:
             return self.cpu.latency(config.cpu_cores, batch)
         return self.gpu.latency(config.gpu_fraction, batch)
@@ -115,6 +150,17 @@ class PerfProfile:
     def expected_init_time(self, config: HardwareConfig) -> float:
         """Noise-free (mean) initialization time under ``config``."""
         return self.init_params(config.backend).mean
+
+    @property
+    def swap_capable(self) -> bool:
+        """Whether this model can page host↔GPU instead of cold-starting."""
+        return self.swap_gpu is not None
+
+    def expected_swap_time(self, config: HardwareConfig) -> float | None:
+        """Noise-free swap-in time, or ``None`` when swap does not apply."""
+        if self.swap_gpu is None or config.backend is not Backend.GPU:
+            return None
+        return self.swap_gpu.mean
 
 
 class GroundTruthPerformance:
@@ -140,12 +186,24 @@ class GroundTruthPerformance:
         # sampled on top, so caching cannot perturb the RNG draw sequence.
         self._mean_cache: dict[tuple[HardwareConfig, int], float] = {}
 
-    def inference_time(self, config: HardwareConfig, batch: int = 1) -> float:
-        """Sample the wall-clock inference time of one execution."""
-        key = (config, batch)
+    def inference_time(
+        self,
+        config: HardwareConfig,
+        batch: int = 1,
+        work: WorkUnit | None = None,
+    ) -> float:
+        """Sample the wall-clock inference time of one execution.
+
+        ``work`` (a :class:`~repro.hardware.servicetime.WorkUnit`) routes
+        through the profile's pluggable service-time model; work-free calls
+        take the original deterministic-mean path bit for bit — either way
+        exactly one noise draw is consumed per call, so attaching work to
+        some stages never perturbs the noise stream of others.
+        """
+        key = (config, batch) if work is None else (config, batch, work)
         base = self._mean_cache.get(key)
         if base is None:
-            base = self.profile.expected_inference_time(config, batch)
+            base = self.profile.expected_inference_time(config, batch, work)
             self._mean_cache[key] = base
         if not self.noisy:
             return base
@@ -163,6 +221,26 @@ class GroundTruthPerformance:
             return params.mean
         return params.sample(self._rng)
 
+    @property
+    def supports_swap(self) -> bool:
+        """Whether the underlying model is swap-capable (GPU paging)."""
+        return self.profile.swap_gpu is not None
+
+    def swap_in_time(self, config: HardwareConfig) -> float:
+        """Sample the host→GPU swap-in time of a resident model.
+
+        Only swap-capable profiles may be asked — the default regime never
+        calls this, so its RNG draw sequence is untouched.
+        """
+        params = self.profile.swap_gpu
+        if params is None or config.backend is not Backend.GPU:
+            raise ValueError(
+                f"model {self.profile.name!r} cannot swap onto {config.key}"
+            )
+        if not self.noisy:
+            return params.mean
+        return params.sample(self._rng)
+
     def sample_inference(
         self, config: HardwareConfig, batch: int, n: int
     ) -> np.ndarray:
@@ -172,3 +250,7 @@ class GroundTruthPerformance:
     def sample_init(self, config: HardwareConfig, n: int) -> np.ndarray:
         """Draw ``n`` initialization samples (profiler input)."""
         return np.array([self.init_time(config) for _ in range(n)])
+
+    def sample_swap(self, config: HardwareConfig, n: int) -> np.ndarray:
+        """Draw ``n`` swap-in samples (profiler input, swap-capable only)."""
+        return np.array([self.swap_in_time(config) for _ in range(n)])

@@ -39,6 +39,10 @@ class FunctionProfile:
     init_cpu: InitTimeEstimate | None
     init_gpu: InitTimeEstimate | None
     n_sigma: float = DEFAULT_UNCERTAINTY
+    # Profiled host→GPU swap-in estimate for swap-capable models (absent
+    # for everything else; see repro.hardware.servicetime).  Policies read
+    # it through swap_time() to price swap-in against a full cold start.
+    swap_init_gpu: InitTimeEstimate | None = None
     # Per-instance scratch cache for derived values (predicted latencies,
     # plans, candidate lists).  Excluded from equality/hash/repr: it holds
     # memoized *functions of* the frozen fields, never independent state.
@@ -122,6 +126,22 @@ class FunctionProfile:
         """Plain-mean initialization time (the Fig. 11a strawman)."""
         return self._init(config.backend).mean
 
+    def swap_time(self, config: HardwareConfig) -> float | None:
+        """Robust host→GPU swap-in time, or ``None`` when swap cannot apply.
+
+        ``None`` for CPU configurations and for models without a profiled
+        swap estimate — callers fall back to :meth:`init_time`, so the
+        default regime is untouched.
+        """
+        if self.swap_init_gpu is None or config.backend is not Backend.GPU:
+            return None
+        key = ("swap", config.backend)
+        cached = self._memo.get(key)
+        if cached is None:
+            cached = self.swap_init_gpu.robust(self.n_sigma)
+            self._memo[key] = cached
+        return cached
+
     def with_n_sigma(self, n_sigma: float) -> "FunctionProfile":
         """Copy of this profile with a different uncertainty multiplier."""
         return FunctionProfile(
@@ -131,4 +151,5 @@ class FunctionProfile:
             init_cpu=self.init_cpu,
             init_gpu=self.init_gpu,
             n_sigma=n_sigma,
+            swap_init_gpu=self.swap_init_gpu,
         )

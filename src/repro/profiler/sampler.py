@@ -91,13 +91,18 @@ class OfflineProfiler:
         cpu_model = self._fit_backend(name, oracle, self.plan.cpu_grid())
         gpu_model = self._fit_backend(name, oracle, self.plan.gpu_grid())
 
-        init_cpu = init_gpu = None
+        init_cpu = init_gpu = swap_gpu = None
         if self.plan.cpu_cores:
             cfg = HardwareConfig.cpu(self.plan.cpu_cores[0])
             init_cpu = self._estimate_init(name, oracle, cfg)
         if self.plan.gpu_fractions:
             cfg = HardwareConfig.gpu(self.plan.gpu_fractions[0])
             init_gpu = self._estimate_init(name, oracle, cfg)
+            if oracle.supports_swap:
+                # Swap-capable models additionally get a swap-in campaign;
+                # default models draw nothing extra, so their oracle noise
+                # streams (and everything fitted from them) are untouched.
+                swap_gpu = self._estimate_init(name, oracle, cfg, swap=True)
 
         return FunctionProfile(
             function=name,
@@ -106,6 +111,7 @@ class OfflineProfiler:
             init_cpu=init_cpu,
             init_gpu=init_gpu,
             n_sigma=self.n_sigma,
+            swap_init_gpu=swap_gpu,
         )
 
     def profile_app(
@@ -152,9 +158,17 @@ class OfflineProfiler:
         )
 
     def _estimate_init(
-        self, name: str, oracle: GroundTruthPerformance, config: HardwareConfig
+        self,
+        name: str,
+        oracle: GroundTruthPerformance,
+        config: HardwareConfig,
+        *,
+        swap: bool = False,
     ):
-        samples = oracle.sample_init(config, self.plan.init_repeats)
+        if swap:
+            samples = oracle.sample_swap(config, self.plan.init_repeats)
+        else:
+            samples = oracle.sample_init(config, self.plan.init_repeats)
         for v in samples:
             self.store.record_timing(name, config.key, MetricKind.INIT, float(v))
         return estimate_init_time(samples)
@@ -174,6 +188,11 @@ def oracle_profile(perf: PerfProfile, n_sigma: float = 0.0) -> FunctionProfile:
     gpu = FittedLatencyModel(
         a=perf.gpu.lam * perf.gpu.alpha, b=perf.gpu.lam * perf.gpu.beta, c=perf.gpu.gamma
     )
+    swap = (
+        InitTimeEstimate(perf.swap_gpu.mean, perf.swap_gpu.std, 10)
+        if perf.swap_gpu is not None
+        else None
+    )
     return FunctionProfile(
         function=perf.name,
         cpu_model=cpu,
@@ -181,4 +200,5 @@ def oracle_profile(perf: PerfProfile, n_sigma: float = 0.0) -> FunctionProfile:
         init_cpu=InitTimeEstimate(perf.init_cpu.mean, perf.init_cpu.std, 10),
         init_gpu=InitTimeEstimate(perf.init_gpu.mean, perf.init_gpu.std, 10),
         n_sigma=n_sigma,
+        swap_init_gpu=swap,
     )

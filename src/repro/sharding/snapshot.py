@@ -50,6 +50,9 @@ _COUNTER_FIELDS = (
     "completed_count",
     "sla_violation_count",
     "within_sla_count",
+    # Appended (not inserted) so older positional fixtures keep their
+    # indices: GPU swap-in launches under swap-capable profiles.
+    "swap_ins",
 )
 
 

@@ -19,6 +19,84 @@ DEFAULT_MACHINES = 8
 DEFAULT_CORES_PER_MACHINE = 104
 DEFAULT_GPU_SLOTS_PER_MACHINE = 10
 
+#: Host DRAM set aside for cached model weights, cluster-wide (GB).  Far
+#: smaller than the fleet's physical memory: it bounds how many models can
+#: stay host-resident for GPU swap-in (Torpor/FaaSwap-style paging).
+DEFAULT_HOST_CACHE_GB = 64.0
+
+
+class ModelResidencyCache:
+    """LRU cache of host-resident model weights (the residency abstraction).
+
+    Swap-capable models (``PerfProfile.swap_gpu`` set) leave their weights
+    pinned in host memory after their first full initialization; from then
+    on a GPU launch pages them in at swap-in cost instead of cold-starting.
+    Capacity is bounded (``capacity_gb``); admitting a model past the bound
+    evicts the least-recently-used residents, whose next GPU launch is a
+    full cold start again.
+
+    Keys are ``(app_name, function)``; sizes are the profile's
+    ``mem_knee_gb`` (the provisioning knee is the natural footprint proxy).
+    Recency is tracked by touch order, not wall-clock, so behaviour is a
+    pure function of the call sequence — deterministic across runs.
+    """
+
+    def __init__(self, capacity_gb: float = DEFAULT_HOST_CACHE_GB) -> None:
+        check_positive("capacity_gb", capacity_gb)
+        self.capacity_gb = float(capacity_gb)
+        self._resident: dict[tuple[str, str], float] = {}  # key -> size_gb
+        self._used_gb = 0.0
+
+    def __len__(self) -> int:
+        return len(self._resident)
+
+    @property
+    def used_gb(self) -> float:
+        """Host gigabytes currently pinned by resident models."""
+        return self._used_gb
+
+    def resident(self, key: tuple[str, str]) -> bool:
+        """Whether the model's weights are host-resident (swap-in eligible)."""
+        return key in self._resident
+
+    def touch(self, key: tuple[str, str]) -> None:
+        """Refresh recency of a resident model (no-op when absent)."""
+        size = self._resident.pop(key, None)
+        if size is not None:
+            self._resident[key] = size
+
+    def admit(
+        self, key: tuple[str, str], size_gb: float
+    ) -> list[tuple[str, str]]:
+        """Pin a model's weights, returning any keys evicted to make room.
+
+        A model larger than the whole cache is never admitted (returns
+        ``[]`` without evicting anything).
+        """
+        check_positive("size_gb", size_gb)
+        if size_gb > self.capacity_gb:
+            return []
+        if key in self._resident:
+            self.touch(key)
+            return []
+        evicted: list[tuple[str, str]] = []
+        while self._used_gb + size_gb > self.capacity_gb:
+            victim, victim_size = next(iter(self._resident.items()))
+            del self._resident[victim]
+            self._used_gb -= victim_size
+            evicted.append(victim)
+        self._resident[key] = size_gb
+        self._used_gb += size_gb
+        return evicted
+
+    def evict(self, key: tuple[str, str]) -> bool:
+        """Drop a model from host memory; ``True`` if it was resident."""
+        size = self._resident.pop(key, None)
+        if size is None:
+            return False
+        self._used_gb -= size
+        return True
+
 
 @dataclass
 class Machine:

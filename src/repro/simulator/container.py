@@ -47,6 +47,9 @@ class Instance:
     #: Launched by a policy pre-warm rather than queue demand; drives the
     #: telemetry plane's PrewarmHit / PrewarmMiss accounting.
     prewarmed: bool = False
+    #: Initialized by paging a host-resident model onto the GPU (swap-in,
+    #: ≪ cold start) instead of a full cold initialization.
+    swapped_in: bool = False
     warm_at: float = 0.0
     idle_since: float = 0.0
     busy_seconds: float = 0.0

@@ -58,6 +58,7 @@ import numpy as np
 from repro.dag.graph import AppDAG
 from repro.hardware.configs import Backend, HardwareConfig
 from repro.hardware.perfmodel import GroundTruthPerformance
+from repro.hardware.servicetime import WorkUnit
 from repro.simulator.container import Instance, InstanceState
 from repro.simulator.invocation import FunctionDirective, Invocation
 from repro.simulator.metrics import InstanceUsage, RunMetrics
@@ -71,8 +72,10 @@ from repro.telemetry.events import (
     InstanceExpired,
     InstanceInitFailed,
     InstanceLaunched,
+    InstanceSwappedIn,
     InvocationFinished,
     InvocationTimedOut,
+    ModelEvicted,
     PrewarmHit,
     PrewarmMiss,
     PrewarmScheduled,
@@ -83,6 +86,7 @@ from repro.telemetry.events import (
     StageReady,
     StageRetried,
     StageStart,
+    TokenStage,
     WindowTick,
 )
 from repro.utils.rng import ensure_rng
@@ -199,6 +203,19 @@ class SimulationContext:
         """Stages queued for ``function``."""
         return len(self._gw.queues[function])
 
+    def model_resident(self, function: str) -> bool:
+        """Whether ``function``'s model weights are host-resident.
+
+        A swap-capable model (see
+        :meth:`repro.profiler.profiles.FunctionProfile.swap_time`) whose
+        weights are resident will next launch on GPU at swap-in cost, so
+        policies can budget the shorter lead when scheduling pre-warms.
+        Always ``False`` for fixed (non-swap) profiles.
+        """
+        return self._gw.runtime.residency.resident(
+            (self._gw.app.name, function)
+        )
+
 
 class Gateway:
     """Serves one application's trace on a shared :class:`Runtime`."""
@@ -263,6 +280,16 @@ class Gateway:
             )
             for spec in app.specs
         }
+        # Per-invocation work sampling (token-work regimes).  The stream is
+        # drawn from the root *after* the fault and oracle seeds, and only
+        # for apps that carry a work model, so work-free apps consume the
+        # historical root draw sequence unchanged.
+        self._work_model = app.work_model
+        self._work_rng = (
+            np.random.default_rng(int(root.integers(2**32)))
+            if app.work_model is not None
+            else None
+        )
         # Record retention: "full" keeps every record (historical behaviour),
         # "sketch" folds completions into streaming accumulators so memory
         # stays O(1) in the arrival count.  `_sketch` is the hot-path bool.
@@ -375,6 +402,8 @@ class Gateway:
                 arrival=t,
                 invocation_id=self.runtime.next_invocation_id(),
             )
+            if self._work_model is not None:
+                inv.work = self._work_model.sample(self._work_rng)
             inv.remaining = len(self.app)  # type: ignore[attr-defined]
             for fn in self.app.function_names:
                 self.pending_stage_demand[fn] += 1
@@ -445,8 +474,15 @@ class Gateway:
     def _execute(self, inst: Instance, items: list[Invocation]) -> None:
         now = self.events.now
         batch_n = len(items)
+        work: WorkUnit | None = None
+        if self._work_model is not None:
+            drawn = [inv.work for inv in items if inv.work is not None]
+            if drawn:
+                # Padded-batch semantics: the batch runs at its longest
+                # member's token counts.
+                work = WorkUnit.combine(drawn)
         exec_time = self.oracles[inst.function].inference_time(
-            inst.config, batch_n
+            inst.config, batch_n, work=work
         )
         if self.gpu_contention > 0.0 and inst.config.backend is Backend.GPU:
             # MPS co-location slowdown (§IV-A2: PCIe/GPU-memory contention
@@ -486,6 +522,18 @@ class Gateway:
             1 for inv in items if inv.stage(inst.function).cold_start
         )
         if self._rec is not None:
+            # Prefill/decode attribution of the sampled wall-clock time:
+            # split pro rata by the service model's phase expectations, so
+            # the two phases sum to exec_time exactly (noise and fixed
+            # overhead apportioned proportionally).
+            token_split: tuple[float, float] | None = None
+            if work is not None:
+                model = self.oracles[inst.function].profile.service_model
+                if model is not None and hasattr(model, "split"):
+                    pre, dec = model.split(inst.config, batch_n, work)
+                    if pre + dec > 0.0:
+                        prefill = exec_time * pre / (pre + dec)
+                        token_split = (prefill, exec_time - prefill)
             if inst.prewarmed and inst.batches_served == 1:
                 self._rec.emit(
                     PrewarmHit(
@@ -518,6 +566,19 @@ class Gateway:
                             function=inst.function,
                             instance_id=inst.instance_id,
                             wait=now - (rec.ready_at or 0.0),
+                        )
+                    )
+                if token_split is not None and inv.work is not None:
+                    self._rec.emit(
+                        TokenStage(
+                            t=now,
+                            app=self.app.name,
+                            invocation_id=inv.invocation_id,
+                            function=inst.function,
+                            tokens_in=inv.work.tokens_in,
+                            tokens_out=inv.work.tokens_out,
+                            prefill=token_split[0],
+                            decode=token_split[1],
                         )
                     )
         if self._faults is None:
@@ -814,7 +875,19 @@ class Gateway:
             return None
         if self._gpu_starved and config.backend is Backend.GPU:
             self._gpu_starved.pop(fn, None)
-        init = self.oracles[fn].init_time(config)
+        oracle = self.oracles[fn]
+        swapped = (
+            config.backend is Backend.GPU
+            and oracle.supports_swap
+            and self.runtime.residency.resident((self.app.name, fn))
+        )
+        if swapped:
+            # The model's weights are host-resident: page them onto the
+            # GPU (swap-in, ≪ cold start) instead of re-initializing.
+            init = oracle.swap_in_time(config)
+            self.runtime.residency.touch((self.app.name, fn))
+        else:
+            init = oracle.init_time(config)
         inst = Instance(
             function=fn,
             config=config,
@@ -823,9 +896,12 @@ class Gateway:
             init_duration=init,
             instance_id=self.runtime.next_instance_id(),
             prewarmed=prewarm,
+            swapped_in=swapped,
         )
         self.pools[fn].add(inst)
         self.metrics.initializations += 1
+        if swapped:
+            self.metrics.swap_ins += 1
         if self._rec is not None:
             self._rec.emit(
                 InstanceLaunched(
@@ -838,6 +914,17 @@ class Gateway:
                     prewarm=prewarm,
                 )
             )
+            if swapped:
+                self._rec.emit(
+                    InstanceSwappedIn(
+                        t=self.events.now,
+                        app=self.app.name,
+                        function=fn,
+                        instance_id=inst.instance_id,
+                        config=config.key,
+                        swap_duration=init,
+                    )
+                )
         self.events.schedule_in(init, lambda: self._warmup_done(inst))
         return inst
 
@@ -870,6 +957,28 @@ class Gateway:
             return
         if self._crash_loops:
             self._crash_loops.pop(inst.function, None)
+        if (
+            inst.config.backend is Backend.GPU
+            and not inst.swapped_in
+            and self.oracles[inst.function].supports_swap
+        ):
+            # A completed full GPU initialization leaves the weights pinned
+            # in host memory: later launches page them in at swap cost.
+            # LRU admission can push other residents out (possibly another
+            # tenant's) — their next launch cold-starts again.
+            profile = self.oracles[inst.function].profile
+            evicted = self.runtime.residency.admit(
+                (self.app.name, inst.function), profile.mem_knee_gb
+            )
+            if self._rec is not None:
+                for victim_app, victim_fn in evicted:
+                    self._rec.emit(
+                        ModelEvicted(
+                            t=self.events.now,
+                            app=victim_app,
+                            function=victim_fn,
+                        )
+                    )
         inst.mark_warm(self.events.now)
         self.pools[inst.function].transition(inst, InstanceState.INITIALIZING)
         self._dispatch(inst.function)

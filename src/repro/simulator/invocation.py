@@ -6,25 +6,20 @@ policy's standing instruction for one function — which configuration to
 launch, how long idle instances may linger (keep-alive), the batch limit,
 and a minimum warm fleet size for scale-out.
 
-Invocation ids: the gateway assigns each invocation an explicit id from
-its :meth:`Runtime.next_invocation_id <repro.simulator.runtime.Runtime>`
-counter, which starts at 0 per runtime — so a run's ids (and therefore
-its telemetry traces) are identical whether the process ran one
-simulation or a whole grid first, and serial vs parallel grids trace the
-same ids.  The process-global fallback below only numbers invocations
-constructed directly (tests, ad-hoc scripts) without an explicit id.
+Invocation ids: every constructor supplies an explicit id — the gateway
+draws from its :meth:`Runtime.next_invocation_id
+<repro.simulator.runtime.Runtime>` counter, which starts at 0 per
+runtime, so a run's ids (and therefore its telemetry traces) are
+identical whether the process ran one simulation or a whole grid first,
+and serial vs parallel grids trace the same ids.
 """
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 
 from repro.hardware.configs import HardwareConfig
-
-#: Fallback numbering for directly constructed invocations only; runs
-#: never draw from this (see module docstring).
-_invocation_ids = itertools.count()
+from repro.hardware.servicetime import WorkUnit
 
 
 @dataclass
@@ -53,7 +48,7 @@ class Invocation:
 
     app: str
     arrival: float
-    invocation_id: int = field(default_factory=lambda: next(_invocation_ids))
+    invocation_id: int
     stages: dict[str, StageRecord] = field(default_factory=dict)
     completed_at: float | None = None
     #: Stage re-executions consumed so far (a per-invocation retry budget
@@ -62,6 +57,9 @@ class Invocation:
     #: Set when the gateway abandoned the invocation (deadline passed or
     #: retry budget exhausted); it then counts as ``timed_out``.
     abandoned_at: float | None = None
+    #: Per-invocation work descriptor (token counts) drawn from the app's
+    #: work model at arrival; ``None`` under the fixed-latency regime.
+    work: WorkUnit | None = None
 
     def stage(self, function: str) -> StageRecord:
         """Record for ``function``, created on first access."""

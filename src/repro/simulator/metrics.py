@@ -205,6 +205,11 @@ class RunMetrics:
     failed_executions: int = 0
     #: Graceful-degradation activations (GPU starvation / crash-loop cap).
     fallbacks: int = 0
+    #: GPU launches served by paging a host-resident model in (swap-in)
+    #: instead of a full cold initialization.  Deliberately absent from
+    #: :meth:`summary` (its key set is pinned by the determinism goldens);
+    #: scenario packs and the trace aggregator read the counter directly.
+    swap_ins: int = 0
     pod_samples: list[tuple[float, int, int]] = field(default_factory=list)
     arrival_samples: list[tuple[float, int]] = field(default_factory=list)
     # -- sketch-retention state (None / 0 under retention="full") -----------

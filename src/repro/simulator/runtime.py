@@ -32,7 +32,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.dag.graph import AppDAG
-from repro.simulator.cluster import Cluster
+from repro.simulator.cluster import Cluster, ModelResidencyCache
 from repro.simulator.events import EventQueue
 from repro.simulator.gateway import Gateway
 from repro.simulator.metrics import RunMetrics
@@ -107,6 +107,7 @@ class Runtime:
         drain_timeout: float = 300.0,
         recorder: "Recorder | None" = None,
         faults: "FaultPlan | None" = None,
+        residency: ModelResidencyCache | None = None,
     ) -> None:
         if drain_timeout < 0:
             raise ValueError(f"drain_timeout must be >= 0, got {drain_timeout}")
@@ -117,6 +118,13 @@ class Runtime:
             recorder if recorder is not None else NullRecorder()
         )
         self.faults = faults
+        # Host-memory model residency (GPU swap-in): shared across tenants
+        # like the cluster itself — one app's working set can evict
+        # another's, which is exactly the co-run contention of §VII-A.
+        # Idle unless a swap-capable profile is deployed.
+        self.residency = (
+            residency if residency is not None else ModelResidencyCache()
+        )
         self.gateways: list[Gateway] = []
         # Run-scoped invocation ids: every runtime numbers its invocations
         # from 0, so traces are stable whether a process ran one simulation

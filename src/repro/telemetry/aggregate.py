@@ -20,6 +20,7 @@ Event-to-counter mapping:
 ``invocation_finished``  ``Invocation.completed_at``
 ``instance_launched`` ``initializations``
 ``instance_init_failed``  ``failed_initializations``
+``instance_swapped_in``  ``swap_ins``
 ``instance_expired``  one ``InstanceUsage`` billing row
 ``window_tick``       ``arrival_samples`` and ``pod_samples``
 ``run_finished``      ``duration`` and the ``unfinished`` count
@@ -52,6 +53,7 @@ from repro.telemetry.events import (
     InstanceExpired,
     InstanceInitFailed,
     InstanceLaunched,
+    InstanceSwappedIn,
     InvocationFinished,
     InvocationTimedOut,
     RunFinished,
@@ -125,6 +127,8 @@ def aggregate(events: Iterable[SimEvent], app: str | None = None) -> RunMetrics:
             metrics.initializations += 1
         elif isinstance(event, InstanceInitFailed):
             metrics.failed_initializations += 1
+        elif isinstance(event, InstanceSwappedIn):
+            metrics.swap_ins += 1
         elif isinstance(event, ExecutionFailed):
             metrics.failed_executions += 1
         elif isinstance(event, StageRetried):

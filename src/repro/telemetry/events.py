@@ -40,6 +40,9 @@ __all__ = [
     "InstanceLaunched",
     "InstanceInitFailed",
     "InstanceExpired",
+    "InstanceSwappedIn",
+    "ModelEvicted",
+    "TokenStage",
     "DirectiveChanged",
     "PrewarmScheduled",
     "PrewarmHit",
@@ -374,6 +377,53 @@ class FallbackActivated(SimEvent):
     from_config: str
     to_config: str
     reason: str
+
+
+# ------------------------------------------------------- swap / token regimes
+@dataclass(frozen=True)
+class InstanceSwappedIn(SimEvent):
+    """A GPU container initialized by paging a host-resident model onto the
+    device (swap-in, ≪ cold start) instead of a full cold initialization.
+
+    Always follows the launch's ``instance_launched`` event, whose
+    ``init_duration`` equals ``swap_duration`` here.
+    """
+
+    type: ClassVar[str] = "instance_swapped_in"
+
+    function: str
+    instance_id: int
+    config: str
+    swap_duration: float
+
+
+@dataclass(frozen=True)
+class ModelEvicted(SimEvent):
+    """A model's weights left the bounded host-memory residency cache (LRU
+    pressure from another admission); its next GPU launch is a full cold
+    start again.  ``app`` is the *evicted* model's application — under
+    multi-tenant runs one tenant's working set can evict another's."""
+
+    type: ClassVar[str] = "model_evicted"
+
+    function: str
+
+
+@dataclass(frozen=True)
+class TokenStage(SimEvent):
+    """Token accounting of one stage execution under a token-work service
+    model: the invocation's sampled token counts and the prefill/decode
+    split of the batch's wall-clock execution time (the two phases sum to
+    the sampled service time, fixed overhead apportioned pro rata)."""
+
+    type: ClassVar[str] = "token_stage"
+
+    invocation_id: int
+    function: str
+    tokens_in: int
+    tokens_out: int
+    prefill: float
+    decode: float
 
 
 # -------------------------------------------------------------------- windows

@@ -16,8 +16,13 @@ from repro.workload.analysis import (
     gap_cv,
     summarize,
 )
-from repro.workload.azure import AzureLikeWorkload, WorkloadPattern
+from repro.workload.azure import (
+    AzureLikeWorkload,
+    AzureTraceWorkload,
+    WorkloadPattern,
+)
 from repro.workload.generator import (
+    TokenWorkModel,
     bursty_process,
     constant_rate_process,
     gamma_renewal_process,
@@ -36,7 +41,9 @@ __all__ = [
     "gamma_renewal_process",
     "mmpp_process",
     "AzureLikeWorkload",
+    "AzureTraceWorkload",
     "WorkloadPattern",
+    "TokenWorkModel",
     "TraceSummary",
     "BurstEpisode",
     "summarize",

@@ -9,13 +9,61 @@ invocations arriving within a short timeframe" regime (§V-B2).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
 
+from repro.hardware.servicetime import WorkUnit
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import check_positive
 from repro.workload.trace import Trace
+
+
+@dataclass(frozen=True)
+class TokenWorkModel:
+    """Seeded per-invocation token-count distribution (LLM workloads).
+
+    Prompt and generation lengths are drawn from independent lognormal
+    distributions (the standard heavy-tailed fit for production LLM
+    traffic), clamped to ``[1, max_tokens]``.  Sampling consumes exactly
+    two draws from the supplied generator per invocation, so token streams
+    are deterministic under a fixed seed and independent of arrival-time
+    generation.
+    """
+
+    mean_tokens_in: float = 256.0
+    mean_tokens_out: float = 128.0
+    cv: float = 0.6
+    max_tokens: int = 4096
+
+    def __post_init__(self) -> None:
+        check_positive("mean_tokens_in", self.mean_tokens_in)
+        check_positive("mean_tokens_out", self.mean_tokens_out)
+        check_positive("cv", self.cv)
+        check_positive("max_tokens", self.max_tokens)
+
+    def _sample_one(self, mean: float, rng: np.random.Generator) -> int:
+        # Lognormal with the requested mean and coefficient of variation.
+        sigma2 = float(np.log1p(self.cv**2))
+        mu = float(np.log(mean)) - 0.5 * sigma2
+        n = int(round(float(rng.lognormal(mu, np.sqrt(sigma2)))))
+        return max(1, min(self.max_tokens, n))
+
+    def sample(self, rng: np.random.Generator) -> WorkUnit:
+        """Draw one invocation's token counts."""
+        return WorkUnit(
+            tokens_in=self._sample_one(self.mean_tokens_in, rng),
+            tokens_out=self._sample_one(self.mean_tokens_out, rng),
+        )
+
+    @property
+    def typical(self) -> WorkUnit:
+        """The mean-work unit (planning-time stand-in)."""
+        return WorkUnit(
+            tokens_in=max(1, int(round(self.mean_tokens_in))),
+            tokens_out=max(1, int(round(self.mean_tokens_out))),
+        )
 
 
 def poisson_process(

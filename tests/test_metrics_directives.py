@@ -1,5 +1,6 @@
 """Focused tests for RunMetrics accounting and FunctionDirective validation."""
 
+import itertools
 import math
 
 import numpy as np
@@ -26,8 +27,11 @@ def make_usage(function="f", config=None, lifetime=10.0, busy=2.0, init=1.0):
     )
 
 
+_ids = itertools.count()
+
+
 def make_invocation(arrival=0.0, latency=1.0):
-    inv = Invocation(app="a", arrival=arrival)
+    inv = Invocation(app="a", arrival=arrival, invocation_id=next(_ids))
     inv.completed_at = arrival + latency
     return inv
 
@@ -173,13 +177,13 @@ class TestFunctionDirectiveValidation:
 
 class TestInvocationRecords:
     def test_stage_created_on_access(self):
-        inv = Invocation(app="a", arrival=1.0)
+        inv = Invocation(app="a", arrival=1.0, invocation_id=0)
         rec = inv.stage("x")
         assert isinstance(rec, StageRecord)
         assert inv.stage("x") is rec
 
     def test_latency_requires_completion(self):
-        inv = Invocation(app="a", arrival=1.0)
+        inv = Invocation(app="a", arrival=1.0, invocation_id=0)
         assert not inv.finished
         with pytest.raises(ValueError):
             _ = inv.latency
@@ -191,6 +195,7 @@ class TestInvocationRecords:
         assert rec.queue_wait == pytest.approx(1.5)
         assert StageRecord(function="x").queue_wait == 0.0
 
-    def test_unique_ids(self):
-        a, b = Invocation(app="a", arrival=0.0), Invocation(app="a", arrival=0.0)
+    def test_explicit_ids(self):
+        a = Invocation(app="a", arrival=0.0, invocation_id=0)
+        b = Invocation(app="a", arrival=0.0, invocation_id=1)
         assert a.invocation_id != b.invocation_id

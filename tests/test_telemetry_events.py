@@ -116,6 +116,15 @@ SAMPLES = {
         t=6.5, app="a", function="f", from_config="gpu-30",
         to_config="cpu-16", reason="gpu-starvation",
     ),
+    "instance_swapped_in": EVENT_TYPES["instance_swapped_in"](
+        t=4.2, app="a", function="f", instance_id=8, config="gpu-30",
+        swap_duration=1.2,
+    ),
+    "model_evicted": EVENT_TYPES["model_evicted"](t=4.2, app="a", function="g"),
+    "token_stage": EVENT_TYPES["token_stage"](
+        t=1.5, app="a", invocation_id=7, function="f", tokens_in=256,
+        tokens_out=128, prefill=0.4, decode=1.1,
+    ),
 }
 
 
