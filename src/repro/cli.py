@@ -7,8 +7,8 @@ Subcommands wrap the :mod:`repro.experiments` runners:
 - ``multiapp``  — co-run all three evaluation apps on one cluster
 - ``scenario``  — run a declarative JSON scenario spec (apps × policies ×
   SLAs × presets × seeds, optionally co-run) through the experiment grid;
-  ``--preset llm|gpu-swap`` runs a built-in validated scenario pack
-  instead, and ``--azure-trace PATH`` replays the published Azure
+  ``--preset llm|gpu-swap|overload`` runs a built-in validated scenario
+  pack instead, and ``--azure-trace PATH`` replays the published Azure
   Functions CSV as the evaluation trace
 - ``trace``     — run one cell with telemetry on: JSONL event trace,
   optional Chrome/Perfetto export, decision audit, and a trace→metrics
@@ -31,6 +31,7 @@ Examples::
     python -m repro.cli scenario spec.json --workers 4 --json
     python -m repro.cli scenario --preset llm --workers 4
     python -m repro.cli scenario --preset gpu-swap
+    python -m repro.cli scenario --preset overload --workers 4
     python -m repro.cli scenario spec.json --azure-trace azurefunctions.csv
     python -m repro.cli trace image-query --out run.jsonl --chrome run.trace.json
     python -m repro.cli report image-query --from-trace run.jsonl
@@ -69,6 +70,15 @@ def _load_faults(args):
     return FaultPlan.from_json(args.faults)
 
 
+def _load_overload(args):
+    """Parse ``--overload <spec.json>`` into an OverloadSpec (``None`` when absent)."""
+    if getattr(args, "overload", None) is None:
+        return None
+    from repro.overload import OverloadSpec
+
+    return OverloadSpec.from_json(args.overload)
+
+
 def _print_rows(rows) -> None:
     print(
         f"{'policy':<16} {'cost':>9} {'violations':>11} {'mean lat':>9} "
@@ -101,6 +111,7 @@ def cmd_compare(args) -> int:
             workers=args.workers,
             init_failure_rate=args.init_failure_rate,
             faults=_load_faults(args),
+            overload=_load_overload(args),
             retention=args.retention,
         )
     )
@@ -120,6 +131,7 @@ def cmd_sweep(args) -> int:
         workers=args.workers,
         init_failure_rate=args.init_failure_rate,
         faults=_load_faults(args),
+        overload=_load_overload(args),
         retention=args.retention,
     ):
         print(
@@ -149,6 +161,7 @@ def cmd_multiapp(args) -> int:
         workers=args.workers,
         init_failure_rate=args.init_failure_rate,
         faults=_load_faults(args),
+        overload=_load_overload(args),
         retention=args.retention,
     )
     _print_rows(
@@ -391,6 +404,7 @@ def cmd_trace(args) -> int:
         recorder=recorder,
         init_failure_rate=args.init_failure_rate,
         faults=_load_faults(args),
+        overload=_load_overload(args),
     ).run()
 
     # Every emitted event must satisfy the published schema ...
@@ -617,7 +631,15 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             metavar="PLAN.json",
             help="attach a fault plan (machine outages, execution faults, "
-            "stragglers, resilience knobs) from a JSON file",
+            "stragglers, flash crowds, resilience knobs) from a JSON file",
+        )
+        p.add_argument(
+            "--overload",
+            default=None,
+            metavar="SPEC.json",
+            help="attach an overload spec (bounded queues with shedding, "
+            "token-bucket admission, circuit breakers, brownout) from a "
+            "JSON file",
         )
 
     p = sub.add_parser("compare", help="compare policies on one app")

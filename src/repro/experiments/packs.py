@@ -15,11 +15,25 @@ inspection.  Two packs ship with the repo (``repro scenario --preset NAME``):
     paging) side by side with its no-swap twin ``image-query`` under every
     registered policy, isolating what swapping buys.
 
-Every pack validates the conservation identity on each cell —
-``arrivals == completed + unfinished + timed_out``, with arrivals taken
-from the *trace*, not re-derived from the metrics — and the ``gpu-swap``
-pack additionally requires swap-in activity and a strict cold-start
-reduction versus the no-swap baseline for every policy that swapped.
+``overload``
+    A flash crowd (a 20 rps arrival spike injected mid-run through the
+    fault plan) hitting ``image-query`` under every registered policy,
+    with an :class:`~repro.overload.OverloadSpec` attached — bounded
+    queues with deadline-aware shedding, token-bucket admission and
+    brownout degradation.  Every cell runs twice: once protected and once
+    as an unprotected twin (``overload=None``), isolating what shedding
+    buys under the same crowd.
+
+Every pack validates the extended conservation identity on each cell —
+``arrivals + injected_arrivals == completed + unfinished + timed_out +
+shed + rejected``, with arrivals taken from the *trace*, not re-derived
+from the metrics (the identity reduces to the classic three-term form
+when no overload spec or flash crowd is attached).  The ``gpu-swap`` pack
+additionally requires swap-in activity and a strict cold-start reduction
+versus the no-swap baseline for every policy that swapped; the
+``overload`` pack requires bounded peak queue depth, shedding activity,
+and strictly higher goodput for every policy's protected cell than its
+unprotected twin.
 """
 
 from __future__ import annotations
@@ -31,6 +45,8 @@ from typing import Callable
 from repro.experiments.parallel import CellResult, run_grid
 from repro.experiments.runners import ComparisonRow, ScenarioRow
 from repro.experiments.scenario import ScenarioSpec
+from repro.faults import FaultPlan, FlashCrowd
+from repro.overload import OverloadSpec
 from repro.policies import policy_names
 
 __all__ = [
@@ -78,9 +94,40 @@ def _gpu_swap_spec() -> ScenarioSpec:
     )
 
 
+def _overload_spec() -> ScenarioSpec:
+    # A mid-run flash crowd two orders of magnitude above the steady rate
+    # (~0.2 rps): heavy enough that *no* policy can absorb it by scaling,
+    # so the unprotected twin drowns in backlog and the goodput-uplift
+    # check binds for every policy.  The spec engages three of the four
+    # mechanisms (bounded queues + deadline-aware shedding, token-bucket
+    # admission, brownout); circuit breakers are wired but stay closed —
+    # no execution faults are injected here (unit tests trip them).
+    return ScenarioSpec(
+        apps=("image-query",),
+        policies=tuple(policy_names()),
+        slas=(2.0,),
+        presets=("steady",),
+        seeds=(3,),
+        duration=PACK_DURATION,
+        train_duration=PACK_TRAIN_DURATION,
+        faults=FaultPlan(
+            flash_crowds=(FlashCrowd(rate=100.0, start=60.0, end=90.0),)
+        ),
+        overload=OverloadSpec(
+            queue_limit=32,
+            shed_policy="deadline-aware",
+            admission_rate=50.0,
+            admission_burst=50.0,
+            brownout_queue_delay=4.0,
+            brownout_recover_delay=1.0,
+        ),
+    )
+
+
 _PACK_BUILDERS: dict[str, Callable[[], ScenarioSpec]] = {
     "llm": _llm_spec,
     "gpu-swap": _gpu_swap_spec,
+    "overload": _overload_spec,
 }
 
 #: Names accepted by ``repro scenario --preset``.
@@ -146,10 +193,20 @@ def _conservation_check(results: list[CellResult]) -> PackCheck:
     bad = []
     for res in results:
         x = res.extras
-        accounted = x["completed"] + x["unfinished"] + x["timed_out"]
-        if x["arrivals"] != accounted:
+        # Extended identity: every offered invocation (trace + fault-plan
+        # injections) is completed, open at the horizon, timed out, shed
+        # from a bounded queue, or rejected at admission — exactly once.
+        accounted = (
+            x["completed"]
+            + x["unfinished"]
+            + x["timed_out"]
+            + x["shed"]
+            + x["rejected"]
+        )
+        offered = x["arrivals"] + x["injected_arrivals"]
+        if offered != accounted:
             bad.append(
-                f"{_cell_label(res)}: {x['arrivals']} arrivals vs "
+                f"{_cell_label(res)}: {offered} offered vs "
                 f"{accounted} accounted"
             )
     detail = (
@@ -223,16 +280,109 @@ def _swap_checks(results: list[CellResult]) -> list[PackCheck]:
     return checks
 
 
+def _overload_checks(
+    spec: ScenarioSpec,
+    protected: list[CellResult],
+    unprotected: list[CellResult],
+) -> list[PackCheck]:
+    """Overload-regime invariants: bounded queues, activity, goodput uplift.
+
+    The bound check is structural — a protected cell's deepest observed
+    queue can never exceed ``queue_limit`` because admission to a full
+    queue sheds first.  The uplift check is the economic one: under the
+    same flash crowd, every policy's protected run must serve strictly
+    more of the offered load within the SLA than its unprotected twin
+    (sheds and rejections count against goodput, so the uplift is earned
+    by keeping the survivors fast, not by discarding the denominator).
+    """
+    limit = spec.overload.queue_limit
+    over = [
+        f"{_cell_label(res)}: peak depth "
+        f"{res.extras['peak_queue_depth']} > limit {limit}"
+        for res in protected
+        if res.extras["peak_queue_depth"] > limit
+    ]
+    total_shed = sum(
+        res.extras["shed"] + res.extras["rejected"] for res in protected
+    )
+    by_policy: dict[str, dict[str, CellResult]] = {}
+    for res in protected:
+        by_policy.setdefault(res.spec.policy, {})["on"] = res
+    for res in unprotected:
+        by_policy.setdefault(res.spec.policy, {})["off"] = res
+    regressions = []
+    compared = 0
+    for policy, pair in sorted(by_policy.items()):
+        if "on" not in pair or "off" not in pair:
+            continue
+        compared += 1
+        g_on = pair["on"].summary["goodput"]
+        g_off = pair["off"].summary["goodput"]
+        if not g_on > g_off:
+            regressions.append(
+                f"{policy}: goodput {g_on:.3f} with shedding vs "
+                f"{g_off:.3f} without"
+            )
+    return [
+        PackCheck(
+            name="bounded-queues",
+            passed=not over,
+            detail=(
+                f"every protected cell's peak queue depth <= {limit}"
+                if not over
+                else "; ".join(over)
+            ),
+        ),
+        PackCheck(
+            name="shed-activity",
+            passed=total_shed > 0,
+            detail=(
+                f"{total_shed} invocations shed or rejected across "
+                "all protected cells"
+            ),
+        ),
+        PackCheck(
+            name="goodput-uplift",
+            passed=not regressions and compared > 0,
+            detail=(
+                f"{compared} policies compared; each serves strictly more "
+                "within-SLA load protected than unprotected"
+                if not regressions and compared > 0
+                else "; ".join(regressions) or "no twin pairs to compare"
+            ),
+        ),
+    ]
+
+
 def run_pack(
     name: str,
     *,
     workers: int = 1,
     azure_trace: str | None = None,
 ) -> PackReport:
-    """Run a named pack end-to-end and validate its invariants."""
+    """Run a named pack end-to-end and validate its invariants.
+
+    The ``overload`` pack doubles its grid: every cell also runs as an
+    unprotected twin (``overload=None``) under the identical flash crowd,
+    feeding the goodput-uplift check.  The report's ``results`` carry the
+    protected cells only; the twins exist to be compared against.
+    """
     spec = pack_spec(name, azure_trace=azure_trace)
-    results = run_grid(spec.cells(), workers=workers)
-    checks = [_conservation_check(results), _progress_check(results)]
+    cells = spec.cells()
+    if name == "overload":
+        twins = [dataclasses.replace(c, overload=None) for c in cells]
+        everything = run_grid(cells + twins, workers=workers)
+        results = everything[: len(cells)]
+        unprotected = everything[len(cells):]
+    else:
+        results = run_grid(cells, workers=workers)
+        unprotected = []
+    checks = [
+        _conservation_check(results + unprotected),
+        _progress_check(results),
+    ]
     if name == "gpu-swap":
         checks.extend(_swap_checks(results))
+    if name == "overload":
+        checks.extend(_overload_checks(spec, results, unprotected))
     return PackReport(pack=name, spec=spec, results=results, checks=checks)

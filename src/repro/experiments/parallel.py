@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, Iterable, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import
     from repro.faults.plan import FaultPlan
+    from repro.overload.spec import OverloadSpec
 
 
 @dataclass(frozen=True)
@@ -78,6 +79,9 @@ class CellSpec:
     trace_dir: str | None = None
     init_failure_rate: float = 0.0
     faults: "FaultPlan | None" = None
+    #: Overload-resilience spec (bounded queues, admission control,
+    #: circuit breakers, brownout); ``None`` leaves every hook inert.
+    overload: "OverloadSpec | None" = None
     retention: str = "full"
     shards: int = 1
     slices_per_app: int = 1
@@ -101,6 +105,7 @@ class MultiAppCellSpec:
     trace_dir: str | None = None
     init_failure_rate: float = 0.0
     faults: "FaultPlan | None" = None
+    overload: "OverloadSpec | None" = None
     retention: str = "full"
     #: Shard-plane opt-in, as on :class:`CellSpec`.  Note a sharded
     #: multi-app cell runs each (app × slice) unit on its *own* cluster —
@@ -187,15 +192,29 @@ def _metrics_extras(metrics, *, arrivals: int | None = None) -> dict:
     """Conservation and swap counters not part of the pinned summary keys.
 
     ``arrivals`` should be the *trace's* invocation count so that the
-    conservation identity ``arrivals == completed + unfinished + timed_out``
-    is an independent cross-check, not a tautology; ``None`` falls back to
-    the metrics-side sum (sharded paths that never see the trace).
+    extended conservation identity ``arrivals + injected_arrivals ==
+    completed + unfinished + timed_out + shed + rejected`` is an
+    independent cross-check, not a tautology (it reduces to the classic
+    three-term identity when no overload spec or flash crowd is attached);
+    ``None`` falls back to the metrics-side sum (sharded paths that never
+    see the trace).
     """
-    accounted = metrics.n_completed + metrics.unfinished + metrics.timed_out
+    accounted = (
+        metrics.n_completed
+        + metrics.unfinished
+        + metrics.timed_out
+        + metrics.shed
+        + metrics.rejected
+        - metrics.injected_arrivals
+    )
     return {
         "completed": metrics.n_completed,
         "unfinished": metrics.unfinished,
         "timed_out": metrics.timed_out,
+        "shed": metrics.shed,
+        "rejected": metrics.rejected,
+        "injected_arrivals": metrics.injected_arrivals,
+        "peak_queue_depth": metrics.peak_queue_depth,
         "arrivals": accounted if arrivals is None else arrivals,
         "initializations": metrics.initializations,
         "swap_ins": metrics.swap_ins,
@@ -230,6 +249,7 @@ def run_cell(spec: CellSpec | MultiAppCellSpec) -> CellResult:
         recorder=recorder,
         init_failure_rate=spec.init_failure_rate,
         faults=spec.faults,
+        overload=spec.overload,
         retention=spec.retention,
     )
     metrics = sim.run()
@@ -281,6 +301,7 @@ def _run_sharded_cell(spec: CellSpec | MultiAppCellSpec) -> CellResult:
         sim_seed=spec.sim_seed,
         init_failure_rate=spec.init_failure_rate,
         faults=spec.faults,
+        overload=spec.overload,
     )
     wall = time.perf_counter() - start
     summary = snapshot.summary()
@@ -312,6 +333,7 @@ def _run_multiapp_cell(spec: MultiAppCellSpec) -> CellResult:
         recorder=recorder,
         init_failure_rate=spec.init_failure_rate,
         faults=spec.faults,
+        overload=spec.overload,
         retention=spec.retention,
     )
     results = sim.run()

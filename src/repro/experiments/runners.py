@@ -19,6 +19,7 @@ import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import
     from repro.faults.plan import FaultPlan
+    from repro.overload.spec import OverloadSpec
 
 from repro.dag import (
     amber_alert,
@@ -184,6 +185,7 @@ def run_comparison(
     workers: int = 1,
     init_failure_rate: float = 0.0,
     faults: "FaultPlan | None" = None,
+    overload: "OverloadSpec | None" = None,
     retention: str = "full",
 ) -> list[ComparisonRow]:
     """Serve the environment's trace under each policy.
@@ -207,6 +209,7 @@ def run_comparison(
                     seed=seed,
                     init_failure_rate=init_failure_rate,
                     faults=faults,
+                    overload=overload,
                     retention=retention,
                 ).run(),
             )
@@ -218,6 +221,7 @@ def run_comparison(
         seeds=(seed,),
         init_failure_rate=init_failure_rate,
         faults=faults,
+        overload=overload,
         retention=retention,
     )
     return [
@@ -235,6 +239,7 @@ def run_sla_sweep(
     workers: int = 1,
     init_failure_rate: float = 0.0,
     faults: "FaultPlan | None" = None,
+    overload: "OverloadSpec | None" = None,
     retention: str = "full",
 ) -> list[tuple[float, ComparisonRow]]:
     """Re-serve the trace at each SLA target under one policy.
@@ -262,6 +267,7 @@ def run_sla_sweep(
                 seed=seed,
                 init_failure_rate=init_failure_rate,
                 faults=faults,
+                overload=overload,
                 retention=retention,
             ).run()
             out.append((sla, ComparisonRow.from_metrics(policy, metrics)))
@@ -273,6 +279,7 @@ def run_sla_sweep(
         seeds=(seed,),
         init_failure_rate=init_failure_rate,
         faults=faults,
+        overload=overload,
         retention=retention,
     )
     return [
@@ -290,6 +297,7 @@ def run_multi_app(
     seeding: str = "name",
     init_failure_rate: float = 0.0,
     faults: "FaultPlan | None" = None,
+    overload: "OverloadSpec | None" = None,
     retention: str = "full",
 ) -> dict[str, ComparisonRow] | dict[str, dict[str, ComparisonRow]]:
     """Co-run several environments on one shared cluster (§VII-A).
@@ -319,6 +327,7 @@ def run_multi_app(
                 seeding=seeding,
                 init_failure_rate=init_failure_rate,
                 faults=faults,
+                overload=overload,
                 retention=retention,
             ).run()
             results[name] = {
@@ -334,6 +343,7 @@ def run_multi_app(
                 seeding=seeding,
                 init_failure_rate=init_failure_rate,
                 faults=faults,
+                overload=overload,
                 retention=retention,
             )
             for name in names

@@ -34,6 +34,7 @@ from typing import Any, Mapping, Sequence
 
 from repro.experiments.parallel import CellSpec, EnvSpec, MultiAppCellSpec
 from repro.faults.plan import FaultPlan
+from repro.overload.spec import OverloadSpec
 
 __all__ = ["ScenarioSpec"]
 
@@ -75,6 +76,11 @@ class ScenarioSpec:
     #: knobs absorbing them.  In JSON form this key accepts an inline
     #: fault-plan object or a path string to a plan file.
     faults: FaultPlan | None = None
+    #: Overload spec attached to every cell: bounded queues with shedding,
+    #: token-bucket admission control, circuit breakers and brownout
+    #: degradation (see :mod:`repro.overload`).  In JSON form this key
+    #: accepts an inline spec object or a path string to a spec file.
+    overload: OverloadSpec | None = None
     #: Record retention for every cell: "full" keeps every invocation and
     #: billing record (exact, memory grows with the trace), "sketch" folds
     #: completions into streaming accumulators (O(1) memory; latency
@@ -155,6 +161,11 @@ class ScenarioSpec:
             kwargs["faults"] = FaultPlan.from_dict(faults)
         elif isinstance(faults, str):
             kwargs["faults"] = FaultPlan.from_json(faults)
+        overload = kwargs.get("overload")
+        if isinstance(overload, Mapping):
+            kwargs["overload"] = OverloadSpec.from_dict(overload)
+        elif isinstance(overload, str):
+            kwargs["overload"] = OverloadSpec.from_json(overload)
         return cls(**kwargs)
 
     @classmethod
@@ -172,6 +183,7 @@ class ScenarioSpec:
         seeds: Sequence[int] = (3,),
         init_failure_rate: float = 0.0,
         faults: FaultPlan | None = None,
+        overload: OverloadSpec | None = None,
         retention: str = "full",
     ) -> "ScenarioSpec":
         """Scenario over one already-specified environment recipe.
@@ -191,6 +203,7 @@ class ScenarioSpec:
             env_seed=env.seed,
             init_failure_rate=init_failure_rate,
             faults=faults,
+            overload=overload,
             retention=retention,
             azure_trace=env.azure_trace,
         )
@@ -220,6 +233,7 @@ class ScenarioSpec:
                     trace_dir=self.trace_dir,
                     init_failure_rate=self.init_failure_rate,
                     faults=self.faults,
+                    overload=self.overload,
                     retention=self.retention,
                     shards=self.shards,
                     slices_per_app=self.slices_per_app,
@@ -237,6 +251,7 @@ class ScenarioSpec:
                 trace_dir=self.trace_dir,
                 init_failure_rate=self.init_failure_rate,
                 faults=self.faults,
+                overload=self.overload,
                 retention=self.retention,
                 shards=self.shards,
                 slices_per_app=self.slices_per_app,

@@ -14,10 +14,12 @@ runs are bit-identical to the pre-fault engine.
 from repro.faults.plan import (
     ExecutionFault,
     FaultPlan,
+    FlashCrowd,
     InitFailureBurst,
     LatencyStraggler,
     MachineOutage,
     ResilienceSpec,
+    RetryStorm,
 )
 
 __all__ = [
@@ -26,5 +28,7 @@ __all__ = [
     "ExecutionFault",
     "LatencyStraggler",
     "InitFailureBurst",
+    "FlashCrowd",
+    "RetryStorm",
     "ResilienceSpec",
 ]

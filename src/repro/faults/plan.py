@@ -13,7 +13,12 @@ the failure toolkit a serverless platform is evaluated against:
   selected functions / backends (degraded node, noisy neighbour);
 - :class:`InitFailureBurst` — additional time-varying init-failure
   probability on top of the gateway's base ``init_failure_rate`` (an
-  image-registry brownout, a flaky model download).
+  image-registry brownout, a flaky model download);
+- :class:`FlashCrowd` — a deterministic arrival-rate spike injected on
+  top of the trace (the overload plane's pressure source, see
+  :mod:`repro.overload`);
+- :class:`RetryStorm` — clients that blindly resubmit shed/rejected
+  invocations after a fixed delay, amplifying an overload.
 
 All windows are half-open ``[start, end)``.  Overlapping probability
 specs compose by saturating addition (capped below 1), overlapping
@@ -47,6 +52,8 @@ __all__ = [
     "ExecutionFault",
     "LatencyStraggler",
     "InitFailureBurst",
+    "FlashCrowd",
+    "RetryStorm",
     "ResilienceSpec",
     "FaultPlan",
 ]
@@ -155,13 +162,75 @@ class InitFailureBurst:
 
 
 @dataclass(frozen=True)
+class FlashCrowd:
+    """A deterministic arrival-rate spike injected on top of the trace.
+
+    Inside the (finite) window extra invocations arrive at exactly
+    ``rate`` per second, spaced ``1/rate`` apart starting at ``start``.
+    The spike holds no randomness — injected arrivals go through the
+    gateway's ordinary arrival path (admission control applies) and are
+    counted in ``RunMetrics.injected_arrivals``.
+    """
+
+    rate: float
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0.0:
+            raise ValueError(f"flash-crowd rate must be > 0, got {self.rate}")
+        _check_window(self.start, self.end)
+        if not math.isfinite(self.end):
+            raise ValueError(
+                "flash-crowd window end must be finite "
+                f"(the spike injects rate * (end - start) arrivals), got {self.end}"
+            )
+
+    def times(self) -> tuple[float, ...]:
+        """The exact injected arrival instants (``start + k/rate < end``)."""
+        n = math.ceil((self.end - self.start) * self.rate - 1e-12)
+        return tuple(self.start + k / self.rate for k in range(max(n, 0)))
+
+
+@dataclass(frozen=True)
+class RetryStorm:
+    """Clients that blindly resubmit shed/rejected invocations.
+
+    Inside the window, every invocation the gateway sheds or rejects is
+    re-submitted as a *fresh* arrival ``delay`` seconds later, up to
+    ``resubmits`` generations deep per original invocation.  Resubmissions
+    count as ``injected_arrivals`` and go through admission control — the
+    mechanism that turns a transient overload into a sustained one unless
+    the shedding machinery dampens it.
+    """
+
+    resubmits: int = 1
+    delay: float = 1.0
+    start: float = 0.0
+    end: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.resubmits < 1:
+            raise ValueError(f"resubmits must be >= 1, got {self.resubmits}")
+        if self.delay <= 0.0:
+            raise ValueError(f"retry-storm delay must be > 0, got {self.delay}")
+        _check_window(self.start, self.end)
+
+    def matches(self, t: float) -> bool:
+        """Whether a shed/rejected invocation at ``t`` is resubmitted."""
+        return _in_window(self.start, self.end, t)
+
+
+@dataclass(frozen=True)
 class ResilienceSpec:
     """Parameters of the gateway's fault-absorption machinery.
 
     ``max_retries`` is a per-invocation budget shared across its stages;
     once exhausted the invocation is abandoned (counted ``timed_out``).
     ``retry_backoff`` seeds exponential backoff: retry *k* waits
-    ``retry_backoff * 2**(k-1)`` seconds.  ``max_crash_loop`` caps the
+    ``min(retry_backoff * 2**(k-1), retry_backoff_max)`` seconds — the cap
+    keeps a generous retry budget from scheduling events arbitrarily far
+    past the run horizon.  ``max_crash_loop`` caps the
     consecutive automatic relaunches after init failures of one function;
     at the cap the gateway stops crash-looping (falling back to the CPU
     config when enabled) and leaves relaunching to demand-driven
@@ -173,6 +242,7 @@ class ResilienceSpec:
 
     max_retries: int = 3
     retry_backoff: float = 0.5
+    retry_backoff_max: float = 60.0
     max_crash_loop: int = 5
     deadline_factor: float | None = None
     fallback_after: int | None = 3
@@ -184,6 +254,10 @@ class ResilienceSpec:
         if self.retry_backoff < 0:
             raise ValueError(
                 f"retry_backoff must be >= 0, got {self.retry_backoff}"
+            )
+        if self.retry_backoff_max <= 0:
+            raise ValueError(
+                f"retry_backoff_max must be > 0, got {self.retry_backoff_max}"
             )
         if self.max_crash_loop < 1:
             raise ValueError(
@@ -238,6 +312,8 @@ class FaultPlan:
     execution_faults: tuple[ExecutionFault, ...] = ()
     stragglers: tuple[LatencyStraggler, ...] = ()
     init_failure_bursts: tuple[InitFailureBurst, ...] = ()
+    flash_crowds: tuple[FlashCrowd, ...] = ()
+    retry_storms: tuple[RetryStorm, ...] = ()
     resilience: ResilienceSpec = field(default_factory=ResilienceSpec)
 
     # ------------------------------------------------------------- loading
@@ -269,6 +345,12 @@ class FaultPlan:
             init_failure_bursts=_tuple_of(
                 InitFailureBurst, data.get("init_failure_bursts"),
                 "init_failure_burst",
+            ),
+            flash_crowds=_tuple_of(
+                FlashCrowd, data.get("flash_crowds"), "flash_crowd"
+            ),
+            retry_storms=_tuple_of(
+                RetryStorm, data.get("retry_storms"), "retry_storm"
             ),
             resilience=resilience,
         )
@@ -308,6 +390,20 @@ class FaultPlan:
             if _in_window(spec.start, spec.end, t):
                 rate += spec.rate
         return min(rate, _MAX_RATE)
+
+    def injected_times(self) -> tuple[float, ...]:
+        """Merged, sorted arrival instants of every flash crowd."""
+        times: list[float] = []
+        for crowd in self.flash_crowds:
+            times.extend(crowd.times())
+        return tuple(sorted(times))
+
+    def storm_for(self, t: float) -> RetryStorm | None:
+        """The first retry storm whose window covers ``t`` (or ``None``)."""
+        for storm in self.retry_storms:
+            if storm.matches(t):
+                return storm
+        return None
 
     @property
     def max_machine(self) -> int:

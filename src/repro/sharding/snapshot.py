@@ -53,6 +53,13 @@ _COUNTER_FIELDS = (
     # Appended (not inserted) so older positional fixtures keep their
     # indices: GPU swap-in launches under swap-capable profiles.
     "swap_ins",
+    # Overload plane (repro.overload): queue sheds, admission rejections,
+    # and fault-plan-injected arrivals (flash crowds, retry storms).  All
+    # three sum exactly across slices; peak_queue_depth does NOT belong
+    # here — it merges by max, not sum, and rides as its own field.
+    "shed",
+    "rejected",
+    "injected_arrivals",
 )
 
 
@@ -80,6 +87,10 @@ class UnitSnapshot:
     #: Host timing, not simulation outcome — excluded from equality so two
     #: runs of the same unit compare equal bit for bit.
     wall_clock: float = field(default=0.0, compare=False)
+    #: Deepest per-function queue seen in this unit.  Kept off
+    #: ``_COUNTER_FIELDS`` because slices combine it with ``max``, not
+    #: ``+`` — the merged value is the deepest backlog anywhere in the run.
+    peak_queue_depth: int = 0
 
     @property
     def key(self) -> tuple[str, int]:
@@ -124,6 +135,7 @@ class UnitSnapshot:
             billing_state=metrics.billing.to_state(),
             events_processed=int(events_processed),
             wall_clock=float(wall_clock),
+            peak_queue_depth=int(metrics.peak_queue_depth),
         )
 
     def to_metrics(self) -> RunMetrics:
@@ -140,6 +152,7 @@ class UnitSnapshot:
         )
         for name, value in zip(_COUNTER_FIELDS, self.counters):
             setattr(metrics, name, value)
+        metrics.peak_queue_depth = self.peak_queue_depth
         return metrics
 
 
@@ -206,6 +219,9 @@ class ShardSnapshot:
                 metrics.duration += unit.duration
                 for name, value in zip(_COUNTER_FIELDS, unit.counters):
                     setattr(metrics, name, getattr(metrics, name) + value)
+                metrics.peak_queue_depth = max(
+                    metrics.peak_queue_depth, unit.peak_queue_depth
+                )
                 metrics.latency_sketch.merge(
                     QuantileSketch.from_state(unit.sketch_state)
                 )

@@ -38,6 +38,7 @@ from repro.sharding.snapshot import ShardSnapshot, UnitSnapshot, merge_snapshots
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import
     from repro.faults.plan import FaultPlan
+    from repro.overload.spec import OverloadSpec
 
 __all__ = ["ShardTask", "run_shard", "run_sharded"]
 
@@ -54,6 +55,7 @@ class ShardTask:
     sim_seed: int = 3
     init_failure_rate: float = 0.0
     faults: "FaultPlan | None" = None
+    overload: "OverloadSpec | None" = None
 
     def env_for(self, app: str) -> EnvSpec:
         """The environment recipe of one app (KeyError if unmapped)."""
@@ -95,6 +97,7 @@ def _run_unit(task: ShardTask, unit: ShardUnit) -> UnitSnapshot:
         seed=seed,
         init_failure_rate=task.init_failure_rate,
         faults=task.faults,
+        overload=task.overload,
         retention="sketch",
     )
     metrics = sim.run()
@@ -129,6 +132,7 @@ def _tasks(
     sim_seed: int,
     init_failure_rate: float,
     faults: "FaultPlan | None",
+    overload: "OverloadSpec | None",
 ) -> list[ShardTask]:
     mapped = {env.app for env in envs}
     missing = set(plan.apps) - mapped
@@ -146,6 +150,7 @@ def _tasks(
             sim_seed=sim_seed,
             init_failure_rate=init_failure_rate,
             faults=faults,
+            overload=overload,
         )
         for i, units in enumerate(plan.assignments())
     ]
@@ -161,6 +166,7 @@ def run_sharded(
     mp_context: str | None = None,
     init_failure_rate: float = 0.0,
     faults: "FaultPlan | None" = None,
+    overload: "OverloadSpec | None" = None,
 ) -> ShardSnapshot:
     """Scatter the plan over worker processes; merge at the barrier.
 
@@ -172,7 +178,7 @@ def run_sharded(
     pool cannot start (``RuntimeWarning``).
     """
     tasks = _tasks(
-        plan, tuple(envs), policy, sim_seed, init_failure_rate, faults
+        plan, tuple(envs), policy, sim_seed, init_failure_rate, faults, overload
     )
     workers = len(tasks) if processes is None else min(processes, len(tasks))
     if workers < 1:

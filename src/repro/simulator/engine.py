@@ -30,6 +30,7 @@ from repro.workload.trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only imports
     from repro.faults.plan import FaultPlan
+    from repro.overload.spec import OverloadSpec
     from repro.policies.base import Policy
     from repro.telemetry.recorder import Recorder
 
@@ -55,6 +56,7 @@ class ServerlessSimulator:
         gpu_contention: float = 0.0,
         recorder: "Recorder | None" = None,
         faults: "FaultPlan | None" = None,
+        overload: "OverloadSpec | None" = None,
         retention: str = "full",
     ) -> None:
         self.runtime = Runtime(
@@ -63,6 +65,7 @@ class ServerlessSimulator:
             drain_timeout=drain_timeout,
             recorder=recorder,
             faults=faults,
+            overload=overload,
         )
         self.gateway = self.runtime.add_app(
             app,

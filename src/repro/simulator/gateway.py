@@ -49,6 +49,7 @@ built and the hot loop is unchanged.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from collections import deque
 from typing import TYPE_CHECKING
@@ -74,6 +75,8 @@ from repro.telemetry.events import (
     InstanceLaunched,
     InstanceSwappedIn,
     InvocationFinished,
+    InvocationRejected,
+    InvocationShed,
     InvocationTimedOut,
     ModelEvicted,
     PrewarmHit,
@@ -94,6 +97,7 @@ from repro.workload.trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only imports
     from repro.faults.plan import FaultPlan, ResilienceSpec
+    from repro.overload.spec import OverloadSpec, TokenBucket
     from repro.policies.base import Policy
     from repro.simulator.events import TimerHandle
     from repro.simulator.runtime import Runtime
@@ -274,6 +278,29 @@ class Gateway:
         self._crash_loops: dict[str, int] = {}
         self._gpu_starved: dict[str, int] = {}
         self._deadline_timers: dict[int, "TimerHandle"] = {}
+        # Overload-resilience plane (None in the default regime; every hook
+        # below is a single attribute check when inactive, and no RNG is
+        # involved — overload decisions are pure functions of time/state).
+        overload = runtime.overload
+        self._overload: "OverloadSpec | None" = overload
+        self._admission: "TokenBucket | None" = (
+            overload.make_bucket() if overload is not None else None
+        )
+        self._degraded_config: HardwareConfig | None = (
+            HardwareConfig.from_key(overload.degraded_config)
+            if overload is not None
+            else None
+        )
+        #: fn -> consecutive batch failures (circuit-breaker arming count).
+        self._breaker_fails: dict[str, int] = {}
+        #: fn -> "open" | "half-open" | "probing" (absent = closed).
+        self._breaker_state: dict[str, str] = {}
+        #: fn -> the policy directive saved while a brownout tier is active.
+        self._brownout_saved: dict[str, FunctionDirective] = {}
+        #: invocation id -> retry-storm resubmission generation (> 0 only).
+        self._storm_generation: dict[int, int] = {}
+        self._crowd_times: tuple[float, ...] = ()
+        self._crowd_seq_base = 0
         self.oracles: dict[str, GroundTruthPerformance] = {
             spec.name: GroundTruthPerformance(
                 spec.profile, rng=int(root.integers(2**32)), noisy=noisy
@@ -356,6 +383,15 @@ class Gateway:
             self._schedule_arrival(0)
         if self._n_windows:
             self._schedule_tick(1)
+        if self._faults is not None and self._faults.flash_crowds:
+            # Flash-crowd injections stream exactly like trace arrivals,
+            # on their own reserved sequence block (reserved only when a
+            # crowd exists, so crowd-free plans keep the historical
+            # tie-break order byte for byte).
+            self._crowd_times = self._faults.injected_times()
+            self._crowd_seq_base = self.events.reserve(len(self._crowd_times))
+            if self._crowd_times:
+                self._schedule_crowd(0)
 
     def finalize(self) -> RunMetrics:
         """Terminate remaining instances and seal the metrics."""
@@ -397,39 +433,105 @@ class Gateway:
         def fire() -> None:
             if index + 1 < len(self.trace):
                 self._schedule_arrival(index + 1)
-            inv = Invocation(
-                app=self.app.name,
-                arrival=t,
-                invocation_id=self.runtime.next_invocation_id(),
-            )
-            if self._work_model is not None:
-                inv.work = self._work_model.sample(self._work_rng)
-            inv.remaining = len(self.app)  # type: ignore[attr-defined]
-            for fn in self.app.function_names:
-                self.pending_stage_demand[fn] += 1
-            if not self._sketch:
-                # Sketch retention drops the record at completion time;
-                # arrivals stay implied by the conservation counters
-                # (completed + unfinished + timed_out).
-                self.metrics.invocations.append(inv)
-            self._open_invocations += 1
-            self._current_window_count += 1
-            res = self._resilience
-            if res is not None and res.deadline_factor is not None:
-                self._arm_deadline(inv)
-            if self._rec is not None:
-                self._rec.emit(
-                    Arrival(
-                        t=t, app=self.app.name, invocation_id=inv.invocation_id
-                    )
-                )
-            self.policy.on_arrival(inv, self.ctx)
-            for fn in self.app.sources():
-                self._stage_ready(inv, fn)
+            self._handle_arrival(t)
 
         return fire
 
+    def _schedule_crowd(self, index: int) -> None:
+        t = self._crowd_times[index]
+
+        def fire() -> None:
+            if index + 1 < len(self._crowd_times):
+                self._schedule_crowd(index + 1)
+            self._handle_arrival(t, injected=True)
+
+        self.events.schedule(t, fire, seq=self._crowd_seq_base + index)
+
+    def _handle_arrival(
+        self, t: float, *, injected: bool = False, generation: int = 0
+    ) -> None:
+        """One arrival entering the front door (trace, crowd or resubmit).
+
+        The shared path behind trace arrivals, flash-crowd injections and
+        retry-storm resubmissions: admission control first (a rejected
+        invocation never enters the system — no work sample, no demand, no
+        ``arrival`` event), then the historical arrival bookkeeping in its
+        exact original operation order.
+        """
+        inv = Invocation(
+            app=self.app.name,
+            arrival=t,
+            invocation_id=self.runtime.next_invocation_id(),
+        )
+        if injected or generation:
+            self.metrics.injected_arrivals += 1
+        if generation:
+            self._storm_generation[inv.invocation_id] = generation
+        if self._admission is not None and not self._admission.admit(t):
+            self.metrics.rejected += 1
+            if self._rec is not None:
+                self._rec.emit(
+                    InvocationRejected(
+                        t=t, app=self.app.name, invocation_id=inv.invocation_id
+                    )
+                )
+            self._maybe_resubmit(inv, t)
+            return
+        if self._work_model is not None:
+            inv.work = self._work_model.sample(self._work_rng)
+        inv.remaining = len(self.app)  # type: ignore[attr-defined]
+        for fn in self.app.function_names:
+            self.pending_stage_demand[fn] += 1
+        if not self._sketch:
+            # Sketch retention drops the record at completion time;
+            # arrivals stay implied by the conservation counters
+            # (completed + unfinished + timed_out + shed).
+            self.metrics.invocations.append(inv)
+        self._open_invocations += 1
+        self._current_window_count += 1
+        res = self._resilience
+        if res is not None and res.deadline_factor is not None:
+            self._arm_deadline(inv)
+        if self._rec is not None:
+            self._rec.emit(
+                Arrival(
+                    t=t, app=self.app.name, invocation_id=inv.invocation_id
+                )
+            )
+        self.policy.on_arrival(inv, self.ctx)
+        for fn in self.app.sources():
+            self._stage_ready(inv, fn)
+
+    def _maybe_resubmit(self, inv: Invocation, t: float) -> None:
+        """Retry-storm amplification: resubmit a shed/rejected invocation.
+
+        A fresh invocation (new id, counted ``injected``) re-enters the
+        front door after the storm's delay, up to ``resubmits``
+        generations deep per original arrival.
+        """
+        faults = self._faults
+        if faults is None or not faults.retry_storms:
+            return
+        storm = faults.storm_for(t)
+        if storm is None:
+            return
+        generation = self._storm_generation.pop(inv.invocation_id, 0)
+        if generation >= storm.resubmits:
+            return
+
+        def fire() -> None:
+            if self._shutting_down:
+                return
+            self._handle_arrival(self.events.now, generation=generation + 1)
+
+        self.events.schedule_in(storm.delay, fire)
+
     def _stage_ready(self, inv: Invocation, fn: str) -> None:
+        if self._overload is not None:
+            if self._overload.bounds_queues and not self._admit_to_queue(
+                inv, fn
+            ):
+                return
         inv.stage(fn).ready_at = self.events.now
         if self._rec is not None:
             self._rec.emit(
@@ -441,13 +543,58 @@ class Gateway:
                 )
             )
         self.queues[fn].append(inv)
+        if self._overload is not None:
+            depth = len(self.queues[fn])
+            if depth > self.metrics.peak_queue_depth:
+                self.metrics.peak_queue_depth = depth
         self._dispatch(fn)
+
+    def _admit_to_queue(self, inv: Invocation, fn: str) -> bool:
+        """Enforce the bounded queue: shed one invocation when full.
+
+        Returns ``False`` when the *incoming* invocation was the victim
+        (the caller must not enqueue it); ``True`` otherwise — possibly
+        after evicting a queued victim to make room.
+
+        Victim selection per ``shed_policy``: ``reject-newest`` drops the
+        incoming invocation; ``drop-oldest`` drops the head of the queue;
+        ``deadline-aware`` drops the invocation least likely to meet its
+        SLA — the one with the earliest arrival (least remaining slack)
+        among the incoming and queued candidates, deterministic on ties.
+        """
+        spec = self._overload
+        queue = self.queues[fn]
+        if len(queue) < spec.queue_limit:
+            return True
+        policy = spec.shed_policy
+        if policy == "reject-newest":
+            victim = inv
+        elif policy == "drop-oldest":
+            victim = queue[0]
+        else:  # deadline-aware
+            victim = inv
+            for queued in queue:
+                if queued.arrival < victim.arrival:
+                    victim = queued
+        if victim is inv:
+            self._shed(inv, function=fn, reason=policy)
+            return False
+        queue.remove(victim)
+        self._shed(victim, function=fn, reason=policy)
+        return True
 
     # ------------------------------------------------------------- dispatch
     def _dispatch(self, fn: str) -> None:
         directive = self.directives[fn]
         queue = self.queues[fn]
         pool = self.pools[fn]
+        breaker = None
+        if self._breaker_state:
+            breaker = self._breaker_state.get(fn)
+            if breaker == "open" or breaker == "probing":
+                # Circuit open: no dispatch, no launches, until the
+                # cool-down's half-open probe (or its resolution).
+                return
         while queue:
             inst = pool.pick_idle(directive.config)
             if inst is None:
@@ -456,9 +603,14 @@ class Gateway:
             # stale-config instance serves sequentially so a large batch
             # cannot blow its (slower) stage latency.
             limit = directive.batch if inst.config == directive.config else 1
+            if breaker is not None:  # half-open: a single size-1 probe
+                limit = 1
             batch_n = min(limit, len(queue))
             items = [queue.popleft() for _ in range(batch_n)]
             self._execute(inst, items)
+            if breaker is not None:
+                self._breaker_state[fn] = "probing"
+                return
         if queue:
             # Cover the backlog with launches, accounting for instances that
             # are already initializing and will drain the queue when warm.
@@ -468,7 +620,12 @@ class Gateway:
             capacity = initializing * directive.batch
             shortfall = len(queue) - capacity
             if shortfall > 0:
-                for _ in range(math.ceil(shortfall / directive.batch)):
+                n_launches = math.ceil(shortfall / directive.batch)
+                if breaker is not None:
+                    # Half-open with no warm instance: launch at most one
+                    # container to host the probe.
+                    n_launches = 1 if initializing == 0 else 0
+                for _ in range(n_launches):
                     self._launch(fn, directive.config)
 
     def _execute(self, inst: Instance, items: list[Invocation]) -> None:
@@ -665,6 +822,8 @@ class Gateway:
                                 sla=self.app.sla,
                             )
                         )
+        if self._overload is not None and self._overload.breaks_circuits:
+            self._breaker_success(fn)
         self._dispatch(fn)
         if inst.state is InstanceState.IDLE:
             self._arm_expiry(inst)
@@ -719,6 +878,8 @@ class Gateway:
                     batch=len(items),
                 )
             )
+        if self._overload is not None and self._overload.breaks_circuits:
+            self._breaker_failure(fn)
         self._terminate(inst, reason="execution-failed")
         self._requeue(fn, items)
 
@@ -746,7 +907,12 @@ class Gateway:
                 continue
             delay = 0.0
             if res is not None and res.retry_backoff > 0.0:
-                delay = res.retry_backoff * 2.0 ** (inv.retries - 1)
+                # Exponential backoff, capped so a generous retry budget
+                # cannot schedule events arbitrarily far past the horizon.
+                delay = min(
+                    res.retry_backoff * 2.0 ** (inv.retries - 1),
+                    res.retry_backoff_max,
+                )
             self.metrics.stage_retries += 1
             if self._rec is not None:
                 self._rec.emit(
@@ -783,17 +949,10 @@ class Gateway:
             res.deadline_factor * self.app.sla, fire
         )
 
-    def _abandon(self, inv: Invocation, *, reason: str) -> None:
-        """Give up on an invocation: deadline passed or retries exhausted.
-
-        Unstarted stages release their demand charges and leave the
-        queues; a stage currently executing is left to finish (its result
-        is discarded in :meth:`_stage_done`).  The invocation counts as
-        ``timed_out`` — disjoint from both completed and ``unfinished``.
-        """
-        if inv.finished or inv.abandoned_at is not None:
-            return
-        now = self.events.now
+    def _release_open(self, inv: Invocation, now: float) -> None:
+        """Common teardown of a given-up invocation (abandon or shed):
+        demand charges of unstarted stages released, queue entries and the
+        deadline timer cleared, the open-invocation count decremented."""
         inv.abandoned_at = now
         handle = self._deadline_timers.pop(inv.invocation_id, None)
         if handle is not None:
@@ -813,6 +972,19 @@ class Gateway:
                     except ValueError:
                         pass  # ready but not queued (retry backoff pending)
         self._open_invocations -= 1
+
+    def _abandon(self, inv: Invocation, *, reason: str) -> None:
+        """Give up on an invocation: deadline passed or retries exhausted.
+
+        Unstarted stages release their demand charges and leave the
+        queues; a stage currently executing is left to finish (its result
+        is discarded in :meth:`_stage_done`).  The invocation counts as
+        ``timed_out`` — disjoint from both completed and ``unfinished``.
+        """
+        if inv.finished or inv.abandoned_at is not None:
+            return
+        now = self.events.now
+        self._release_open(inv, now)
         self.metrics.timed_out += 1
         if self._rec is not None:
             self._rec.emit(
@@ -846,6 +1018,136 @@ class Gateway:
                     reason=reason,
                 )
             )
+
+    # ------------------------------------------------------------- overload
+    def _shed(self, inv: Invocation, *, function: str, reason: str) -> None:
+        """Drop one invocation under overload (bounded-queue shedding).
+
+        Mirrors :meth:`_abandon` — demand charges released, queues
+        cleared, deadline timer cancelled — but counts ``shed``, the
+        overload plane's own disposition, disjoint from ``timed_out``.
+        """
+        if inv.finished or inv.abandoned_at is not None:
+            return
+        now = self.events.now
+        self._release_open(inv, now)
+        self.metrics.shed += 1
+        if self._rec is not None:
+            self._rec.emit(
+                InvocationShed(
+                    t=now,
+                    app=self.app.name,
+                    invocation_id=inv.invocation_id,
+                    function=function,
+                    reason=reason,
+                    age=now - inv.arrival,
+                )
+            )
+        self._maybe_resubmit(inv, now)
+
+    def _breaker_failure(self, fn: str) -> None:
+        """Count one consecutive batch failure toward the breaker."""
+        state = self._breaker_state.get(fn)
+        if state == "probing":
+            # The half-open probe failed: straight back to open.
+            self._breaker_open(fn)
+            return
+        if state == "open":
+            return
+        fails = self._breaker_fails.get(fn, 0) + 1
+        self._breaker_fails[fn] = fails
+        if fails >= self._overload.breaker_failures:
+            self._breaker_open(fn)
+
+    def _breaker_open(self, fn: str) -> None:
+        """Open the circuit: stop dispatching, probe after the cool-down."""
+        spec = self._overload
+        self._breaker_state[fn] = "open"
+        self._breaker_fails[fn] = 0
+        self._activate_fallback(
+            fn,
+            self.directives[fn].config,
+            self._degraded_config,
+            reason="circuit-open",
+        )
+
+        def fire() -> None:
+            if self._shutting_down:
+                return
+            if self._breaker_state.get(fn) == "open":
+                self._breaker_state[fn] = "half-open"
+                self._dispatch(fn)
+
+        self.events.schedule_in(spec.breaker_cooldown, fire)
+
+    def _breaker_success(self, fn: str) -> None:
+        """A batch finished cleanly: reset the count, close the circuit."""
+        if self._breaker_fails.get(fn):
+            self._breaker_fails[fn] = 0
+        if self._breaker_state.pop(fn, None) is not None:
+            self._activate_fallback(
+                fn,
+                self._degraded_config,
+                self.directives[fn].config,
+                reason="circuit-close",
+            )
+
+    def _evaluate_brownout(self) -> None:
+        """Window-tick brownout check: degrade on queue delay, restore on
+        recovery.
+
+        The head-of-queue wait of each function is compared against the
+        engage threshold; crossing it swaps the standing directive's
+        configuration to the degraded tier (the policy's directive is
+        saved and restored once the delay recedes below the hysteresis
+        threshold).  A policy re-issuing its own directive while a
+        brownout is active takes ownership back.
+        """
+        spec = self._overload
+        now = self.events.now
+        degraded = self._degraded_config
+        for fn, queue in self.queues.items():
+            delay = 0.0
+            if queue:
+                head_ready = queue[0].stage(fn).ready_at
+                if head_ready is not None:
+                    delay = now - head_ready
+            directive = self.directives[fn]
+            saved = self._brownout_saved.get(fn)
+            if saved is None:
+                if (
+                    delay > spec.brownout_queue_delay
+                    and directive.config != degraded
+                ):
+                    self._brownout_saved[fn] = directive
+                    self.directives[fn] = dataclasses.replace(
+                        directive, config=degraded
+                    )
+                    self._activate_fallback(
+                        fn, directive.config, degraded, reason="brownout"
+                    )
+                    self.record_directive(
+                        fn,
+                        self.directives[fn],
+                        f"brownout: queue delay {delay:.2f}s > "
+                        f"{spec.brownout_queue_delay:.2f}s",
+                    )
+            elif directive.config != degraded:
+                # The policy replaced the degraded directive meanwhile;
+                # it owns the function again.
+                del self._brownout_saved[fn]
+            elif delay <= spec.brownout_recover_delay:
+                del self._brownout_saved[fn]
+                self.directives[fn] = saved
+                self._activate_fallback(
+                    fn, degraded, saved.config, reason="brownout-restore"
+                )
+                self.record_directive(
+                    fn,
+                    saved,
+                    f"brownout recovered: queue delay {delay:.2f}s <= "
+                    f"{spec.brownout_recover_delay:.2f}s",
+                )
 
     # ------------------------------------------------------------- lifecycle
     def _launch(
@@ -1183,6 +1485,8 @@ class Gateway:
                     )
                 )
             self.policy.on_window(self.events.now, self.ctx)
+            if self._overload is not None and self._overload.browns_out:
+                self._evaluate_brownout()
             self._enforce_min_warm()
 
         return fire
@@ -1229,6 +1533,13 @@ class Gateway:
     def _finalize(self) -> None:
         self._shutting_down = True
         now = self.events.now
+        # Deadline timers of invocations still open at the horizon would
+        # otherwise survive the run as leaked handles (their invocations
+        # seal as `unfinished`, so the timers can never resolve them).
+        if self._deadline_timers:
+            for handle in self._deadline_timers.values():
+                handle.cancel()
+            self._deadline_timers.clear()
         for pool in self.pools.values():
             for inst in list(pool):
                 if inst.is_live:

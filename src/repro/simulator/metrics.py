@@ -210,6 +210,27 @@ class RunMetrics:
     #: :meth:`summary` (its key set is pinned by the determinism goldens);
     #: scenario packs and the trace aggregator read the counter directly.
     swap_ins: int = 0
+    #: Invocations dropped by the overload plane's bounded-queue shedding
+    #: (see :mod:`repro.overload`); disjoint from ``completed`` /
+    #: ``unfinished`` / ``timed_out``, extending the conservation identity
+    #: to ``admitted == completed + unfinished + timed_out + shed``.
+    #: Deliberately absent from :meth:`summary` (its key set is pinned by
+    #: the determinism goldens); the overload pack and the trace
+    #: aggregator read the counter directly.
+    shed: int = 0
+    #: Arrivals turned away by token-bucket admission control before they
+    #: entered the system (the future HTTP 429); offered load is
+    #: ``admitted + rejected``.  Absent from :meth:`summary` like ``shed``.
+    rejected: int = 0
+    #: Extra arrivals injected on top of the trace (flash crowds, retry
+    #: storms).  Offered load is ``len(trace) + injected_arrivals``.  Not
+    #: event-reconstructible (injected arrivals emit ordinary ``arrival``
+    #: events), so it stays out of the aggregate() equality checks.
+    injected_arrivals: int = 0
+    #: Highest per-function ready-queue depth observed at enqueue time.
+    #: Tracked only when an :class:`~repro.overload.OverloadSpec` is
+    #: attached (zero-cost rule); merges across shards by ``max``.
+    peak_queue_depth: int = 0
     pod_samples: list[tuple[float, int, int]] = field(default_factory=list)
     arrival_samples: list[tuple[float, int]] = field(default_factory=list)
     # -- sketch-retention state (None / 0 under retention="full") -----------
@@ -350,18 +371,17 @@ class RunMetrics:
         return np.array([inv.latency for inv in self.invocations if inv.finished])
 
     def violation_ratio(self) -> float:
-        """Fraction of requests exceeding the SLA (unfinished and
-        timed-out invocations count as violations too)."""
-        total = self.n_completed + self.unfinished + self.timed_out
+        """Fraction of requests exceeding the SLA (unfinished, timed-out,
+        shed and rejected invocations count as violations too)."""
+        lost = self.unfinished + self.timed_out + self.shed + self.rejected
+        total = self.n_completed + lost
         if total == 0:
             return 0.0
         if self.retention == "sketch":
-            violations = self.sla_violation_count + self.unfinished + self.timed_out
+            violations = self.sla_violation_count + lost
         else:
             lat = self.latencies()
-            violations = (
-                int((lat > self.sla + 1e-9).sum()) + self.unfinished + self.timed_out
-            )
+            violations = int((lat > self.sla + 1e-9).sum()) + lost
         return violations / total
 
     def availability(self) -> float:
@@ -369,9 +389,13 @@ class RunMetrics:
 
         Under fault injection, invocations lost to deadlines or exhausted
         retry budgets (``timed_out``) and those still open at the horizon
-        (``unfinished``) both count against availability.
+        (``unfinished``) both count against availability; under overload,
+        so do shed and admission-rejected ones.
         """
-        total = self.n_completed + self.unfinished + self.timed_out
+        total = (
+            self.n_completed + self.unfinished + self.timed_out
+            + self.shed + self.rejected
+        )
         if total == 0:
             return 1.0
         return self.n_completed / total
@@ -380,9 +404,13 @@ class RunMetrics:
         """Fraction of arrivals served *within* the SLA (1.0 on empty runs).
 
         The complement of :meth:`violation_ratio`: completed-on-time
-        divided by every arrival, including timed-out and unfinished ones.
+        divided by every arrival, including timed-out, unfinished, shed
+        and admission-rejected ones.
         """
-        total = self.n_completed + self.unfinished + self.timed_out
+        total = (
+            self.n_completed + self.unfinished + self.timed_out
+            + self.shed + self.rejected
+        )
         if total == 0:
             return 1.0
         if self.retention == "sketch":

@@ -34,6 +34,7 @@ from repro.simulator.runtime import (
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import
     from repro.faults.plan import FaultPlan
+    from repro.overload.spec import OverloadSpec
     from repro.telemetry.recorder import Recorder
 
 __all__ = ["Deployment", "MultiAppSimulator"]
@@ -55,6 +56,7 @@ class MultiAppSimulator:
         recorder: "Recorder | None" = None,
         init_failure_rate: float = 0.0,
         faults: "FaultPlan | None" = None,
+        overload: "OverloadSpec | None" = None,
         retention: str = "full",
     ) -> None:
         if not deployments:
@@ -72,6 +74,7 @@ class MultiAppSimulator:
             drain_timeout=drain_timeout,
             recorder=recorder,
             faults=faults,
+            overload=overload,
         )
         self.gateways = [
             self.runtime.add_app(

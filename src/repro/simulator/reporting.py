@@ -145,4 +145,18 @@ def format_report(metrics: RunMetrics) -> str:
             f"{metrics.failed_executions} failed executions, "
             f"{metrics.fallbacks} fallbacks"
         )
+    if metrics.shed or metrics.rejected:
+        # Offered load from the metrics' own accounting (works equally on
+        # live counters and on an aggregate()-reconstructed trace view).
+        offered = (
+            metrics.n_completed + metrics.unfinished + metrics.timed_out
+            + metrics.shed + metrics.rejected
+        )
+        shed_rate = (metrics.shed + metrics.rejected) / offered if offered else 0.0
+        sections.append(
+            f"overload absorbed: {metrics.shed} shed from bounded queues, "
+            f"{metrics.rejected} rejected at admission "
+            f"({shed_rate:.1%} of {offered} offered), "
+            f"goodput under overload {metrics.goodput():.1%}"
+        )
     return "\n\n".join(sections)

@@ -42,6 +42,7 @@ from repro.workload.trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import
     from repro.faults.plan import FaultPlan
+    from repro.overload.spec import OverloadSpec
     from repro.policies.base import Policy
     from repro.telemetry.recorder import Recorder
 
@@ -107,6 +108,7 @@ class Runtime:
         drain_timeout: float = 300.0,
         recorder: "Recorder | None" = None,
         faults: "FaultPlan | None" = None,
+        overload: "OverloadSpec | None" = None,
         residency: ModelResidencyCache | None = None,
     ) -> None:
         if drain_timeout < 0:
@@ -118,6 +120,10 @@ class Runtime:
             recorder if recorder is not None else NullRecorder()
         )
         self.faults = faults
+        # Overload-resilience plane (bounded queues, admission control,
+        # circuit breakers, brownout; see repro.overload).  Shared by every
+        # gateway, though each keeps its own per-app token bucket.
+        self.overload = overload
         # Host-memory model residency (GPU swap-in): shared across tenants
         # like the cluster itself — one app's working set can evict
         # another's, which is exactly the co-run contention of §VII-A.

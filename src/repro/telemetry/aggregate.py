@@ -28,6 +28,8 @@ Event-to-counter mapping:
 ``stage_retried``     ``stage_retries`` (and ``Invocation.retries``)
 ``invocation_timed_out``  ``timed_out``
 ``fallback_activated``  ``fallbacks``
+``invocation_shed``   ``shed``
+``invocation_rejected``  ``rejected``
 ====================  ====================================================
 
 Cluster-scoped events (``machine_down`` / ``machine_up``, whose ``app``
@@ -55,6 +57,8 @@ from repro.telemetry.events import (
     InstanceLaunched,
     InstanceSwappedIn,
     InvocationFinished,
+    InvocationRejected,
+    InvocationShed,
     InvocationTimedOut,
     RunFinished,
     RunStarted,
@@ -137,6 +141,13 @@ def aggregate(events: Iterable[SimEvent], app: str | None = None) -> RunMetrics:
         elif isinstance(event, InvocationTimedOut):
             metrics.timed_out += 1
             invocations[event.invocation_id].abandoned_at = event.t
+        elif isinstance(event, InvocationShed):
+            metrics.shed += 1
+            invocations[event.invocation_id].abandoned_at = event.t
+        elif isinstance(event, InvocationRejected):
+            # Rejected arrivals never entered the system: no `arrival`
+            # event precedes this one, so only the counter moves.
+            metrics.rejected += 1
         elif isinstance(event, FallbackActivated):
             metrics.fallbacks += 1
         elif isinstance(event, InstanceExpired):

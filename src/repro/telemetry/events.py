@@ -54,6 +54,8 @@ __all__ = [
     "StageRetried",
     "InvocationTimedOut",
     "FallbackActivated",
+    "InvocationShed",
+    "InvocationRejected",
     "CLUSTER_SCOPE",
     "EVENT_TYPES",
     "EVENT_SCHEMA",
@@ -377,6 +379,36 @@ class FallbackActivated(SimEvent):
     from_config: str
     to_config: str
     reason: str
+
+
+# ------------------------------------------------------------------ overload
+@dataclass(frozen=True)
+class InvocationShed(SimEvent):
+    """A bounded queue overflowed and the shedding policy dropped this
+    invocation (see :mod:`repro.overload`).  ``reason`` names the policy
+    that chose the victim (``reject-newest`` / ``drop-oldest`` /
+    ``deadline-aware``) or ``circuit-open`` when a breaker refused the
+    stage.  Counted ``shed`` — disjoint from ``completed`` /
+    ``unfinished`` / ``timed_out``."""
+
+    type: ClassVar[str] = "invocation_shed"
+
+    invocation_id: int
+    function: str
+    reason: str
+    age: float
+
+
+@dataclass(frozen=True)
+class InvocationRejected(SimEvent):
+    """Token-bucket admission control turned an arrival away at the
+    gateway front door (the future HTTP 429).  The invocation never
+    entered the system: no ``arrival`` event, no queue or demand entry —
+    only the ``rejected`` counter."""
+
+    type: ClassVar[str] = "invocation_rejected"
+
+    invocation_id: int
 
 
 # ------------------------------------------------------- swap / token regimes

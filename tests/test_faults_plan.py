@@ -14,10 +14,12 @@ import pytest
 from repro.faults import (
     ExecutionFault,
     FaultPlan,
+    FlashCrowd,
     InitFailureBurst,
     LatencyStraggler,
     MachineOutage,
     ResilienceSpec,
+    RetryStorm,
 )
 
 
@@ -49,12 +51,30 @@ class TestSpecValidation:
             ResilienceSpec(max_retries=-1)
         with pytest.raises(ValueError, match="retry_backoff"):
             ResilienceSpec(retry_backoff=-0.5)
+        with pytest.raises(ValueError, match="retry_backoff_max"):
+            ResilienceSpec(retry_backoff_max=0.0)
         with pytest.raises(ValueError, match="max_crash_loop"):
             ResilienceSpec(max_crash_loop=0)
         with pytest.raises(ValueError, match="deadline_factor"):
             ResilienceSpec(deadline_factor=0.0)
         with pytest.raises(ValueError, match="fallback_after"):
             ResilienceSpec(fallback_after=0)
+
+    def test_flash_crowd_bounds(self):
+        with pytest.raises(ValueError, match="rate"):
+            FlashCrowd(rate=0.0, start=1.0, end=2.0)
+        with pytest.raises(ValueError, match="end must be > start"):
+            FlashCrowd(rate=1.0, start=2.0, end=2.0)
+        with pytest.raises(ValueError, match="finite"):
+            FlashCrowd(rate=1.0, start=0.0, end=math.inf)
+
+    def test_retry_storm_bounds(self):
+        with pytest.raises(ValueError, match="resubmits"):
+            RetryStorm(resubmits=0)
+        with pytest.raises(ValueError, match="delay"):
+            RetryStorm(delay=0.0)
+        with pytest.raises(ValueError, match="end must be > start"):
+            RetryStorm(start=5.0, end=5.0)
 
     def test_unknown_keys_rejected_with_alternatives(self):
         with pytest.raises(KeyError, match="unknown fault-plan keys"):
@@ -164,3 +184,75 @@ class TestQueries:
             )
         )
         assert plan.max_machine == 5
+
+
+class TestOverloadComposition:
+    """Flash crowds and retry storms: the overload plane's pressure sources."""
+
+    def test_flash_crowd_times_are_pinned(self):
+        crowd = FlashCrowd(rate=2.0, start=10.0, end=12.0)
+        assert crowd.times() == (10.0, 10.5, 11.0, 11.5)
+        # Exactly rate * (end - start) arrivals, window half-open.
+        assert len(FlashCrowd(rate=4.0, start=0.0, end=3.0).times()) == 12
+
+    def test_injected_times_merged_and_sorted(self):
+        plan = FaultPlan(
+            flash_crowds=(
+                FlashCrowd(rate=1.0, start=5.0, end=7.0),
+                FlashCrowd(rate=1.0, start=4.5, end=6.5),
+            )
+        )
+        times = plan.injected_times()
+        assert times == (4.5, 5.0, 5.5, 6.0)
+        assert times == tuple(sorted(times))
+        assert FaultPlan().injected_times() == ()
+
+    def test_storm_for_respects_windows(self):
+        early = RetryStorm(resubmits=2, delay=0.5, start=0.0, end=10.0)
+        late = RetryStorm(resubmits=1, delay=2.0, start=10.0, end=20.0)
+        plan = FaultPlan(retry_storms=(early, late))
+        assert plan.storm_for(5.0) is early
+        assert plan.storm_for(10.0) is late
+        assert plan.storm_for(25.0) is None
+        assert FaultPlan().storm_for(5.0) is None
+
+    def test_overload_plan_json_round_trip(self, tmp_path):
+        plan = FaultPlan(
+            flash_crowds=(FlashCrowd(rate=20.0, start=60.0, end=90.0),),
+            retry_storms=(RetryStorm(resubmits=3, delay=1.5, end=120.0),),
+            resilience=ResilienceSpec(retry_backoff_max=8.0),
+        )
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(plan.to_dict()))
+        assert FaultPlan.from_json(path) == plan
+
+    def test_capped_backoff_schedule_observed_in_run(self):
+        """Pin the capped schedule min(b * 2**(k-1), cap) via StageRetried.
+
+        An always-failing function burns the whole retry budget, so the
+        recorded retry delays are exactly the exponential schedule
+        saturating at ``retry_backoff_max``.
+        """
+        from repro.dag import linear_pipeline
+        from repro.policies import OnDemandPolicy
+        from repro.simulator import ServerlessSimulator
+        from repro.telemetry import TraceRecorder
+        from repro.telemetry.events import StageRetried
+        from repro.workload import Trace
+
+        app = linear_pipeline(1, models=("IR",))
+        trace = Trace([5.0], duration=60.0)
+        plan = FaultPlan(
+            execution_faults=(ExecutionFault(rate=1.0),),
+            resilience=ResilienceSpec(
+                max_retries=6, retry_backoff=0.5, retry_backoff_max=4.0
+            ),
+        )
+        rec = TraceRecorder()
+        m = ServerlessSimulator(
+            app, trace, OnDemandPolicy(), seed=0, faults=plan, recorder=rec
+        ).run()
+        delays = [e.delay for e in rec if isinstance(e, StageRetried)]
+        assert delays == [0.5, 1.0, 2.0, 4.0, 4.0, 4.0]
+        assert m.timed_out == 1  # budget exhausted after the capped tail
+        assert m.stage_retries == 6

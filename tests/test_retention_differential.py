@@ -58,6 +58,10 @@ COUNTERS = (
     "stage_retries",
     "failed_executions",
     "fallbacks",
+    "shed",
+    "rejected",
+    "injected_arrivals",
+    "peak_queue_depth",
 )
 
 

@@ -12,6 +12,7 @@ from repro.experiments.packs import (
     PACK_NAMES,
     PackReport,
     _conservation_check,
+    _overload_checks,
     _progress_check,
     _swap_checks,
     pack_spec,
@@ -20,15 +21,16 @@ from repro.experiments.parallel import CellResult, CellSpec, EnvSpec
 from repro.policies import policy_names
 
 
-def result(app, policy, **extras):
+def result(app, policy, *, summary=None, **extras):
     defaults = dict(
         completed=10, unfinished=0, timed_out=0, arrivals=10,
+        shed=0, rejected=0, injected_arrivals=0, peak_queue_depth=0,
         initializations=5, swap_ins=0,
     )
     defaults.update(extras)
     return CellResult(
         spec=CellSpec(env=EnvSpec(app=app), policy=policy),
-        summary={},
+        summary=summary or {},
         wall_clock=0.1,
         events_processed=100,
         extras=defaults,
@@ -36,13 +38,19 @@ def result(app, policy, **extras):
 
 
 def test_pack_specs_cover_every_policy():
-    assert PACK_NAMES == ("llm", "gpu-swap")
+    assert PACK_NAMES == ("llm", "gpu-swap", "overload")
     llm = pack_spec("llm")
     assert llm.apps == ("llm-chat",)
     assert llm.policies == tuple(policy_names())
     swap = pack_spec("gpu-swap")
     assert set(swap.apps) == {"image-query-swap", "image-query"}
     assert swap.policies == tuple(policy_names())
+    overload = pack_spec("overload")
+    assert overload.apps == ("image-query",)
+    assert overload.policies == tuple(policy_names())
+    assert overload.overload is not None
+    assert overload.overload.bounds_queues and overload.overload.admits
+    assert overload.faults is not None and overload.faults.flash_crowds
     with pytest.raises(KeyError, match="unknown scenario pack"):
         pack_spec("nope")
 
@@ -60,6 +68,56 @@ def test_conservation_check_flags_leaks():
     check = _conservation_check(leaky)
     assert not check.passed
     assert "a/p3" in check.detail
+
+
+def test_conservation_check_extended_identity():
+    # Offered load (trace + injected) balances against the five-way
+    # accounting: completed, unfinished, timed out, shed, rejected.
+    balanced = result(
+        "a", "p", arrivals=10, injected_arrivals=6,
+        completed=9, timed_out=1, shed=4, rejected=2,
+    )
+    assert _conservation_check([balanced]).passed
+    # A shed invocation with no matching offered arrival is a leak.
+    leaky = result("a", "p", shed=1)
+    check = _conservation_check([leaky])
+    assert not check.passed
+    assert "11 accounted" in check.detail
+
+
+def test_overload_checks_bound_activity_and_uplift():
+    spec = pack_spec("overload")
+    limit = spec.overload.queue_limit
+
+    def on(policy, *, peak=None, goodput=0.6):
+        return result(
+            "image-query", policy, injected_arrivals=6, completed=9,
+            timed_out=1, shed=4, rejected=2,
+            peak_queue_depth=limit if peak is None else peak,
+            summary={"goodput": goodput},
+        )
+
+    def off(policy, *, goodput=0.2):
+        return result(
+            "image-query", policy, injected_arrivals=6, completed=16,
+            summary={"goodput": goodput},
+        )
+
+    bound, activity, uplift = _overload_checks(spec, [on("p")], [off("p")])
+    assert bound.passed and activity.passed and uplift.passed
+
+    bound, _, _ = _overload_checks(
+        spec, [on("p", peak=limit + 1)], [off("p")]
+    )
+    assert not bound.passed and "peak depth" in bound.detail
+
+    _, _, uplift = _overload_checks(
+        spec, [on("p", goodput=0.2)], [off("p", goodput=0.2)]
+    )
+    assert not uplift.passed and "p: goodput" in uplift.detail
+
+    _, _, uplift = _overload_checks(spec, [on("p")], [])
+    assert not uplift.passed and "no twin pairs" in uplift.detail
 
 
 def test_progress_check_flags_stalled_cells():

@@ -26,7 +26,8 @@ import pytest
 from tests.test_retention_differential import COUNTERS, EXACT_FIELDS
 
 from repro.experiments.parallel import EnvSpec, _environment
-from repro.faults.plan import ExecutionFault, FaultPlan, ResilienceSpec
+from repro.faults.plan import ExecutionFault, FaultPlan, FlashCrowd, ResilienceSpec
+from repro.overload import OverloadSpec
 from repro.sharding import ShardPlan, run_sharded
 from repro.simulator import ServerlessSimulator
 from repro.simulator.runtime import derive_slice_seed
@@ -173,3 +174,57 @@ class TestChaosParity:
         assert m.stage_retries > 0
         assert m.failed_executions > 0
         assert m.availability() <= 1.0
+
+
+class TestOverloadParity:
+    """Overload counters commute with sharding (satellite, ISSUE 9).
+
+    Admission decisions are a pure function of the arrival timestamps
+    (no RNG, no wall clock), so every slice replays the same sheds and
+    rejections whether its unit runs in one process or four — the merged
+    ``shed`` / ``rejected`` sums and the max-merged ``peak_queue_depth``
+    are field-by-field identical to the 1-shard reference.
+    """
+
+    def test_overload_counters_survive_merge(self):
+        plan2 = ShardPlan.for_apps(
+            ["image-query"], n_shards=2, slices_per_app=2
+        )
+        plan1 = ShardPlan.for_apps(
+            ["image-query"], n_shards=1, slices_per_app=2
+        )
+        envs = _envs(["image-query"], 300.0)
+        faults = FaultPlan(
+            flash_crowds=(FlashCrowd(rate=40.0, start=100.0, end=108.0),)
+        )
+        overload = OverloadSpec(
+            queue_limit=8,
+            shed_policy="deadline-aware",
+            admission_rate=20.0,
+            admission_burst=10.0,
+        )
+        sharded = run_sharded(
+            plan2, envs, "grandslam", faults=faults, overload=overload
+        )
+        reference = run_sharded(
+            plan1, envs, "grandslam", processes=1, faults=faults,
+            overload=overload,
+        )
+        assert sharded == reference
+        merged = sharded.per_app_metrics()
+        assert_metrics_identical(merged, reference.per_app_metrics())
+        m = merged["image-query"]
+        # The overload machinery actually engaged on both sides of the
+        # differential — the parity is not vacuous.
+        assert m.shed > 0
+        assert m.rejected > 0
+        assert m.injected_arrivals > 0
+        # peak depth merges by max over units, never exceeding the bound.
+        units = [u for u in sharded.units if u.app == "image-query"]
+        assert m.peak_queue_depth == max(u.peak_queue_depth for u in units)
+        assert m.peak_queue_depth <= overload.queue_limit
+        # Extended conservation across the slice boundaries.
+        arrivals = len(_environment(envs[0]).trace)
+        assert arrivals + m.injected_arrivals == (
+            m.n_completed + m.unfinished + m.timed_out + m.shed + m.rejected
+        )

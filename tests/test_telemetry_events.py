@@ -121,6 +121,13 @@ SAMPLES = {
         swap_duration=1.2,
     ),
     "model_evicted": EVENT_TYPES["model_evicted"](t=4.2, app="a", function="g"),
+    "invocation_shed": EVENT_TYPES["invocation_shed"](
+        t=6.2, app="a", invocation_id=7, function="f",
+        reason="deadline-aware", age=1.5,
+    ),
+    "invocation_rejected": EVENT_TYPES["invocation_rejected"](
+        t=6.3, app="a", invocation_id=8
+    ),
     "token_stage": EVENT_TYPES["token_stage"](
         t=1.5, app="a", invocation_id=7, function="f", tokens_in=256,
         tokens_out=128, prefill=0.4, decode=1.1,
