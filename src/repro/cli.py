@@ -20,6 +20,11 @@ Subcommands wrap the :mod:`repro.experiments` runners:
   event throughput and peak RSS to ``BENCH_macro.json``; ``--shards N``
   fans (app × trace-slice) units over worker processes and merges
   bit-identically at the barrier (``BENCH_macro_sharded.json``)
+- ``serve``     — live serving façade: expose every app of a scenario as
+  an HTTP endpoint (``POST /invoke/<app>``) backed by the simulated
+  runtime, paced wall-clock or time-warp, with token-bucket admission
+  (HTTP 429) and a JSONL request log; ``--replay log.jsonl`` re-runs a
+  recorded session offline and verifies bit-identical RunMetrics
 - ``profile``   — print a function's profiled latency/init models
 - ``apps``      — list the built-in applications and workload presets
 
@@ -37,6 +42,8 @@ Examples::
     python -m repro.cli report image-query --from-trace run.jsonl
     python -m repro.cli bench --macro --invocations 1000000
     python -m repro.cli bench --macro --invocations 10000000 --shards 4
+    python -m repro.cli serve --scenario spec.json --pacing time-warp --log run.jsonl
+    python -m repro.cli serve --replay run.jsonl
     python -m repro.cli profile TRS
 """
 
@@ -591,6 +598,106 @@ def cmd_apps(args) -> int:
     return 0
 
 
+def _serve_overload(args, spec):
+    """Fold ``--admission-rate/--admission-burst`` into the spec's overload."""
+    if args.admission_rate is None:
+        return spec
+    import dataclasses
+
+    from repro.overload import OverloadSpec
+
+    base = spec.overload.to_dict() if spec.overload is not None else {}
+    base["admission_rate"] = args.admission_rate
+    base["admission_burst"] = args.admission_burst
+    return dataclasses.replace(spec, overload=OverloadSpec.from_dict(base))
+
+
+def cmd_serve(args) -> int:
+    from repro.simulator.reporting import format_report
+
+    if (args.replay is None) == (args.scenario is None):
+        print("error: serve needs exactly one of --scenario or --replay")
+        return 2
+
+    if args.replay is not None:
+        from repro.serving import replay_request_log, verify_replay
+
+        parsed_has_footer = True
+        try:
+            result, diffs = verify_replay(args.replay)
+        except ValueError as exc:
+            if "no summary footer" not in str(exc):
+                raise
+            parsed_has_footer = False
+            result, diffs = replay_request_log(args.replay), []
+        for app, metrics in result.metrics.items():
+            print(f"=== {app} (replayed) ===")
+            print(format_report(metrics))
+            print()
+        if not parsed_has_footer:
+            print("no footer in the log; replayed without verification")
+            return 0
+        if diffs:
+            print("replay parity FAILED:")
+            for diff in diffs:
+                print(f"  {diff}")
+            return 1
+        print(
+            "replay parity: OK (RunMetrics bit-identical to the recorded "
+            "live session)"
+        )
+        return 0
+
+    import asyncio
+    import signal
+
+    from repro.serving import (
+        LiveServer,
+        RequestLogWriter,
+        SimDriver,
+        make_pacer,
+    )
+
+    spec = _serve_overload(args, ScenarioSpec.from_json(args.scenario))
+    driver = SimDriver(spec.serve_cell(), horizon=spec.duration)
+    pacer = make_pacer(args.pacing, time_scale=args.time_scale)
+    log = RequestLogWriter(args.log) if args.log is not None else None
+
+    async def session():
+        server = LiveServer(
+            driver,
+            pacer,
+            host=args.host,
+            port=args.port,
+            log=log,
+            max_requests=args.max_requests,
+        )
+        await server.start()
+        print(
+            f"serving {', '.join(sorted(driver.gateways))} on "
+            f"http://{server.host}:{server.port} "
+            f"({args.pacing} pacing, horizon {driver.horizon:g}s) — "
+            f"POST /invoke/<app>, /control/stop to finish",
+            flush=True,
+        )
+        loop = asyncio.get_running_loop()
+        try:
+            loop.add_signal_handler(signal.SIGINT, server.request_stop)
+            loop.add_signal_handler(signal.SIGTERM, server.request_stop)
+        except NotImplementedError:  # pragma: no cover - non-POSIX loops
+            pass
+        return await server.run()
+
+    metrics = asyncio.run(session())
+    for app, m in metrics.items():
+        print(f"=== {app} ===")
+        print(format_report(m))
+        print()
+    if args.log is not None:
+        print(f"request log: {args.log} (replay with: repro serve --replay)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro.cli`` argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -829,6 +936,73 @@ def build_parser() -> argparse.ArgumentParser:
         "or BENCH_macro_sharded.json for sharded runs)",
     )
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve a scenario live over HTTP, or replay a request log",
+    )
+    p.add_argument(
+        "--scenario",
+        default=None,
+        metavar="SPEC.json",
+        help="ScenarioSpec JSON with one policy/SLA/preset/seed; every "
+        "app gets a POST /invoke/<app> endpoint",
+    )
+    p.add_argument(
+        "--replay",
+        default=None,
+        metavar="LOG.jsonl",
+        help="replay a recorded request log offline and verify it against "
+        "the recorded footer (bit-identical RunMetrics)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="listening port (0 = let the kernel pick)",
+    )
+    p.add_argument(
+        "--pacing",
+        default="time-warp",
+        # Literal list (not repro.serving.PACING_MODES): importing the CLI
+        # must never load the serving package (zero-cost rule).
+        choices=["time-warp", "wall-clock"],
+        help="time-warp advances the simulated clock only while work is "
+        "pending; wall-clock tracks real time through --time-scale",
+    )
+    p.add_argument(
+        "--time-scale",
+        type=float,
+        default=1.0,
+        help="simulated seconds per wall second (wall-clock pacing only)",
+    )
+    p.add_argument(
+        "--log",
+        default=None,
+        metavar="LOG.jsonl",
+        help="append every request to this JSONL request log for replay",
+    )
+    p.add_argument(
+        "--max-requests",
+        type=int,
+        default=None,
+        help="finalize the session automatically after this many requests",
+    )
+    p.add_argument(
+        "--admission-rate",
+        type=float,
+        default=None,
+        help="per-app token-bucket admission rate (requests per simulated "
+        "second); rejected requests get HTTP 429 with Retry-After",
+    )
+    p.add_argument(
+        "--admission-burst",
+        type=float,
+        default=10.0,
+        help="token-bucket burst capacity (with --admission-rate)",
+    )
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("profile", help="profile one Table I model")
     p.add_argument("model")

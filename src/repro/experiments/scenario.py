@@ -263,6 +263,45 @@ class ScenarioSpec:
             for seed in self.seeds
         ]
 
+    def serve_cell(self) -> MultiAppCellSpec:
+        """Compile to the single co-run cell a live serving session hosts.
+
+        ``repro serve --scenario`` turns a scenario into *one* live
+        multi-tenant runtime (every app co-deployed, as in a real
+        deployment), so each experiment axis must be pinned to exactly
+        one value.  ``co_run`` is irrelevant here — serving always
+        co-hosts.  Fault plans, sharding and telemetry tracing are not
+        supported by the live path and are rejected up front.
+        """
+        for axis in ("policies", "slas", "presets", "seeds"):
+            values = getattr(self, axis)
+            if len(values) != 1:
+                raise ValueError(
+                    f"live serving needs exactly one value on the {axis!r} "
+                    f"axis, got {values!r}"
+                )
+        if self.faults is not None:
+            raise ValueError("live serving does not support fault plans yet")
+        if self.shards != 1 or self.slices_per_app != 1:
+            raise ValueError("live serving does not support sharding")
+        if self.trace_dir is not None:
+            raise ValueError(
+                "live serving does not record telemetry traces "
+                "(it writes a request log instead)"
+            )
+        return MultiAppCellSpec(
+            envs=tuple(
+                self._env_spec(app, self.presets[0], self.slas[0])
+                for app in self.apps
+            ),
+            policy=self.policies[0],
+            sim_seed=self.seeds[0],
+            seeding=self.seeding,
+            init_failure_rate=self.init_failure_rate,
+            overload=self.overload,
+            retention=self.retention,
+        )
+
     def _env_spec(self, app: str, preset: str, sla: float) -> EnvSpec:
         return EnvSpec(
             app=app,

@@ -1,0 +1,63 @@
+"""Live serving façade: the simulator as a load-testable HTTP service.
+
+``repro serve`` exposes one endpoint per application over a stdlib
+asyncio HTTP front door; each POST becomes an invocation injected into a
+shared :class:`~repro.simulator.runtime.Runtime`, paced either in
+wall-clock (Revati-style time scaling) or time-warp mode, with
+token-bucket admission surfacing as HTTP 429.  Every front-door request
+is appended to a JSONL request log that replays offline into
+bit-identical :class:`~repro.simulator.metrics.RunMetrics` — see
+``docs/serving.md``.
+
+This package is intentionally *above* the simulator/experiments layers:
+nothing in the offline stack imports it, so pure-simulation runs never
+load it (pinned by the zero-cost regression test).
+"""
+
+from repro.serving.driver import (
+    DEFAULT_CAPACITY,
+    HorizonPassed,
+    LiveGateway,
+    SimDriver,
+    Ticket,
+)
+from repro.serving.pacing import (
+    PACING_MODES,
+    TimeWarpPacer,
+    WallClockPacer,
+    make_pacer,
+)
+from repro.serving.replay import (
+    ReplayResult,
+    cell_from_header,
+    replay_request_log,
+    verify_replay,
+)
+from repro.serving.requestlog import (
+    LOG_VERSION,
+    ParsedLog,
+    RequestLogWriter,
+    read_request_log,
+)
+from repro.serving.server import LiveServer
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "HorizonPassed",
+    "LOG_VERSION",
+    "LiveGateway",
+    "LiveServer",
+    "PACING_MODES",
+    "ParsedLog",
+    "ReplayResult",
+    "RequestLogWriter",
+    "SimDriver",
+    "Ticket",
+    "TimeWarpPacer",
+    "WallClockPacer",
+    "cell_from_header",
+    "make_pacer",
+    "read_request_log",
+    "replay_request_log",
+    "verify_replay",
+]

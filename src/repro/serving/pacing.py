@@ -1,0 +1,98 @@
+"""Pacing modes for the live serving façade.
+
+Two ways of mapping wall-clock request traffic onto the simulated clock
+(after Revati's emulated-serving modes; see PAPERS.md):
+
+- **wall-clock** — simulated time tracks real time through a fixed
+  ``time_scale`` (simulated seconds per wall second).  A scale of 1.0 is
+  real-time emulation; 60.0 compresses a one-hour session into a minute.
+  The simulation is advanced up to the wall-mapped instant whether or not
+  work is pending, so keep-alive windows and predictor ticks burn real
+  time exactly as a deployed gateway's would.
+- **time-warp** — simulated time advances only while the runtime has
+  work: pending injections or open invocations.  Between requests the
+  clock *parks*, so a load generator in closed loop sweeps through hours
+  of simulated keep-alive decisions in milliseconds.  This is the CI
+  mode: wall-clock jitter never leaks into the recorded stamps' ordering
+  guarantees (stamps remain driver-assigned and strictly increasing
+  either way).
+
+Pacing changes *when* the driver steps and which stamps requests get; it
+never changes the simulation semantics themselves, which is why a
+recorded session replays bit-identically regardless of the mode it was
+captured under.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+__all__ = ["PACING_MODES", "TimeWarpPacer", "WallClockPacer", "make_pacer"]
+
+#: Recognised pacing-mode names (CLI ``--pacing``).
+PACING_MODES = ("time-warp", "wall-clock")
+
+
+class TimeWarpPacer:
+    """Advance the simulation as fast as pending work allows."""
+
+    mode = "time-warp"
+    #: Simulated seconds per wall second; ``None`` marks "unpaced", which
+    #: callers use to skip wall-clock sleeps entirely.
+    time_scale: float | None = None
+
+    def start(self) -> None:  # symmetric API with WallClockPacer
+        """Mark the session start (a no-op for time-warp)."""
+
+    def sim_target(self, horizon: float) -> float:
+        """Furthest simulated instant the driver may advance to."""
+        return horizon
+
+
+class WallClockPacer:
+    """Map wall time onto simulated time through a fixed scale factor."""
+
+    mode = "wall-clock"
+
+    def __init__(
+        self,
+        time_scale: float = 1.0,
+        *,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        if time_scale <= 0:
+            raise ValueError(f"time_scale must be > 0, got {time_scale}")
+        self.time_scale = float(time_scale)
+        self._clock = clock if clock is not None else time.monotonic
+        self._t0: float | None = None
+
+    def start(self) -> None:
+        """Pin wall-clock zero to the current instant."""
+        self._t0 = self._clock()
+
+    def sim_now(self) -> float:
+        """The simulated instant corresponding to the current wall time."""
+        if self._t0 is None:
+            raise ValueError("pacer not started; call start() first")
+        return (self._clock() - self._t0) * self.time_scale
+
+    def sim_target(self, horizon: float) -> float:
+        """Furthest simulated instant the driver may advance to."""
+        return min(horizon, self.sim_now())
+
+
+def make_pacer(
+    mode: str,
+    *,
+    time_scale: float = 1.0,
+    clock: Callable[[], float] | None = None,
+) -> TimeWarpPacer | WallClockPacer:
+    """Build a pacer by mode name (CLI entry point)."""
+    if mode == "time-warp":
+        return TimeWarpPacer()
+    if mode == "wall-clock":
+        return WallClockPacer(time_scale, clock=clock)
+    raise ValueError(
+        f"unknown pacing mode {mode!r}; expected one of {PACING_MODES}"
+    )

@@ -1,0 +1,144 @@
+"""Offline replay of recorded live-serving sessions.
+
+A request log's header carries the full session recipe (environment
+specs, policy, seeds, overload spec, horizon) and its request records
+carry every front-door arrival stamp — including arrivals the token
+bucket rejected, because the bucket is a pure function of the stamp
+sequence.  Rebuilding the same :class:`~repro.simulator.multiapp
+.MultiAppSimulator` over :meth:`Trace.from_request_log
+<repro.workload.trace.Trace.from_request_log>` traces therefore
+reproduces the live run's RunMetrics bit for bit: same invocation ids,
+same RNG streams, same admission decisions, same billing.
+
+:func:`verify_replay` compares the replayed metrics against the log's
+recorded footer field by field — the closed-loop CI check.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.experiments.parallel import (
+    EnvSpec,
+    MultiAppCellSpec,
+    _environment,
+)
+from repro.overload.spec import OverloadSpec
+from repro.serving.requestlog import ParsedLog, read_request_log
+from repro.simulator.metrics import RunMetrics
+from repro.simulator.multiapp import Deployment, MultiAppSimulator
+from repro.workload.trace import Trace
+
+__all__ = ["ReplayResult", "cell_from_header", "replay_request_log", "verify_replay"]
+
+
+def cell_from_header(header: dict[str, Any]) -> MultiAppCellSpec:
+    """Rebuild the recorded session's co-run cell from a log header."""
+    overload = header.get("overload")
+    return MultiAppCellSpec(
+        envs=tuple(EnvSpec(**env) for env in header["envs"]),
+        policy=header["policy"],
+        sim_seed=header["sim_seed"],
+        seeding=header.get("seeding", "name"),
+        init_failure_rate=header.get("init_failure_rate", 0.0),
+        overload=(
+            OverloadSpec.from_dict(overload) if overload is not None else None
+        ),
+        retention=header.get("retention", "full"),
+    )
+
+
+@dataclass
+class ReplayResult:
+    """Replayed metrics next to the log's recorded live outcome."""
+
+    metrics: dict[str, RunMetrics]
+    parsed: ParsedLog
+
+    def summaries(self) -> dict[str, dict[str, float]]:
+        return {name: m.summary() for name, m in self.metrics.items()}
+
+
+def replay_request_log(path: str | Path) -> ReplayResult:
+    """Re-run a recorded session offline; returns per-app metrics."""
+    parsed = read_request_log(path)
+    cell = cell_from_header(parsed.header)
+    deployments = []
+    for spec in cell.envs:
+        env = _environment(spec)
+        deployments.append(
+            Deployment(
+                env.app,
+                Trace.from_request_log(path, app=env.app.name),
+                env.make_policy(cell.policy),
+            )
+        )
+    sim = MultiAppSimulator(
+        deployments,
+        window=parsed.header.get("window", 1.0),
+        drain_timeout=parsed.header.get("drain_timeout", 300.0),
+        seed=cell.sim_seed,
+        seeding=cell.seeding,
+        init_failure_rate=cell.init_failure_rate,
+        overload=cell.overload,
+        retention=cell.retention,
+    )
+    return ReplayResult(metrics=sim.run(), parsed=parsed)
+
+
+def _values_match(a: float, b: float) -> bool:
+    """Bitwise-exact float equality, treating NaN as equal to NaN."""
+    if isinstance(a, float) and isinstance(b, float):
+        if math.isnan(a) and math.isnan(b):
+            return True
+    return a == b
+
+
+def verify_replay(path: str | Path) -> tuple[ReplayResult, list[str]]:
+    """Replay a log and diff it against its recorded footer.
+
+    Returns the replay result and a list of human-readable mismatches
+    (empty = bit-identical reproduction).  Raises if the log carries no
+    footer to verify against.
+    """
+    result = replay_request_log(path)
+    recorded = result.parsed.summary
+    if recorded is None:
+        raise ValueError(
+            f"{path}: no summary footer to verify against (was the live "
+            "session finalized?)"
+        )
+    diffs: list[str] = []
+    replayed = result.summaries()
+    for app, live_summary in recorded["metrics"].items():
+        if app not in replayed:
+            diffs.append(f"{app}: present in footer but not in replay")
+            continue
+        for key, live_value in live_summary.items():
+            replay_value = replayed[app].get(key)
+            if not _values_match(live_value, replay_value):
+                diffs.append(
+                    f"{app}.{key}: live={live_value!r} replay={replay_value!r}"
+                )
+    for app, live_counters in recorded.get("counters", {}).items():
+        metrics = result.metrics.get(app)
+        if metrics is None:
+            continue
+        replay_counters = {
+            "completed": metrics.n_completed,
+            "unfinished": metrics.unfinished,
+            "timed_out": metrics.timed_out,
+            "shed": metrics.shed,
+            "rejected": metrics.rejected,
+            "injected_arrivals": metrics.injected_arrivals,
+        }
+        for key, live_value in live_counters.items():
+            if replay_counters.get(key) != live_value:
+                diffs.append(
+                    f"{app}.{key}: live={live_value!r} "
+                    f"replay={replay_counters.get(key)!r}"
+                )
+    return result, diffs

@@ -163,6 +163,15 @@ class EventQueue:
             heapq.heappop(heap)
             self._dead -= 1
 
+    def next_time(self) -> float | None:
+        """Time of the earliest live pending event, or ``None`` if empty.
+
+        Lets an external pacer (the live serving façade) decide whether
+        stepping would cross a horizon without actually firing anything.
+        """
+        self._prune_head()
+        return self._heap[0][0] if self._heap else None
+
     # ------------------------------------------------------------------ run
     def step(self) -> bool:
         """Fire the earliest live event; returns False when none remain."""

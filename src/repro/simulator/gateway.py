@@ -344,6 +344,12 @@ class Gateway:
         self._current_window_count = 0
         self._open_invocations = 0
         self._shutting_down = False
+        #: Optional terminal-disposition callback ``(inv, status)`` with
+        #: status in {"completed", "timed_out", "shed", "rejected"}.  The
+        #: live serving façade (:mod:`repro.serving`) uses it to resolve
+        #: in-flight HTTP responses; offline runs never set it, so the
+        #: hook costs one attribute check per terminal event.
+        self._on_done = None
         self._arrival_seq_base = 0
         self._tick_seq_base = 0
         self._n_windows = 0
@@ -375,7 +381,7 @@ class Gateway:
                 raise RuntimeError(
                     f"policy {self.policy.name!r} left function {fn!r} without a directive"
                 )
-        n_arrivals = len(self.trace)
+        n_arrivals = self._arrival_capacity()
         self._arrival_seq_base = self.events.reserve(n_arrivals)
         self._n_windows = int(math.ceil(self.trace.duration / self.window))
         self._tick_seq_base = self.events.reserve(self._n_windows)
@@ -397,6 +403,17 @@ class Gateway:
         """Terminate remaining instances and seal the metrics."""
         self._finalize()
         return self.metrics
+
+    def _arrival_capacity(self) -> int:
+        """Arrival-sequence slots to reserve during :meth:`setup`.
+
+        Equal-time events tie-break by reservation order (arrivals, then
+        window ticks, then dynamics), so a live gateway — whose arrivals
+        are injected one HTTP request at a time — must reserve the same
+        *class* position even though it has no trace yet.  Offline
+        gateways reserve exactly one slot per trace arrival.
+        """
+        return len(self.trace)
 
     @property
     def open_invocations(self) -> int:
@@ -449,7 +466,7 @@ class Gateway:
 
     def _handle_arrival(
         self, t: float, *, injected: bool = False, generation: int = 0
-    ) -> None:
+    ) -> Invocation:
         """One arrival entering the front door (trace, crowd or resubmit).
 
         The shared path behind trace arrivals, flash-crowd injections and
@@ -476,7 +493,9 @@ class Gateway:
                     )
                 )
             self._maybe_resubmit(inv, t)
-            return
+            if self._on_done is not None:
+                self._on_done(inv, "rejected")
+            return inv
         if self._work_model is not None:
             inv.work = self._work_model.sample(self._work_rng)
         inv.remaining = len(self.app)  # type: ignore[attr-defined]
@@ -501,6 +520,7 @@ class Gateway:
         self.policy.on_arrival(inv, self.ctx)
         for fn in self.app.sources():
             self._stage_ready(inv, fn)
+        return inv
 
     def _maybe_resubmit(self, inv: Invocation, t: float) -> None:
         """Retry-storm amplification: resubmit a shed/rejected invocation.
@@ -822,6 +842,8 @@ class Gateway:
                                 sla=self.app.sla,
                             )
                         )
+                if self._on_done is not None:
+                    self._on_done(inv, "completed")
         if self._overload is not None and self._overload.breaks_circuits:
             self._breaker_success(fn)
         self._dispatch(fn)
@@ -996,6 +1018,8 @@ class Gateway:
                     age=now - inv.arrival,
                 )
             )
+        if self._on_done is not None:
+            self._on_done(inv, "timed_out")
 
     def _activate_fallback(
         self,
@@ -1044,6 +1068,8 @@ class Gateway:
                 )
             )
         self._maybe_resubmit(inv, now)
+        if self._on_done is not None:
+            self._on_done(inv, "shed")
 
     def _breaker_failure(self, fn: str) -> None:
         """Count one consecutive batch failure toward the breaker."""

@@ -35,6 +35,8 @@ __all__ = [
     "prewarm_audit",
     "fault_audit",
     "format_decision_audit",
+    "request_audit",
+    "format_request_audit",
 ]
 
 _PREWARM_EVENTS = (PrewarmScheduled, PrewarmHit, PrewarmMiss)
@@ -68,6 +70,60 @@ def fault_audit(events: Iterable[SimEvent]) -> list[SimEvent]:
     the resilience machinery did, as one filtered view.
     """
     return [e for e in events if isinstance(e, _FAULT_EVENTS)]
+
+
+#: Field order of one request-audit row (the serving plane's
+#: request-level audit vocabulary; see ``docs/serving.md``).
+REQUEST_AUDIT_FIELDS = (
+    "index",
+    "app",
+    "tenant",
+    "invocation_id",
+    "arrival",
+    "resolved_at",
+    "status",
+    "latency",
+)
+
+
+def request_audit(records: Iterable[dict]) -> list[dict]:
+    """Request-level audit rows from serving response records.
+
+    Consumes the ``response`` records of a live request log (plain dicts,
+    e.g. ``ParsedLog.responses`` — this module deliberately does not
+    import :mod:`repro.serving`) and normalizes each to the
+    :data:`REQUEST_AUDIT_FIELDS` vocabulary: one row per front-door
+    request with its terminal disposition and end-to-end latency
+    (``None`` for requests that never completed).
+    """
+    rows = []
+    for record in records:
+        row = {key: record.get(key) for key in REQUEST_AUDIT_FIELDS}
+        if row["latency"] is None and record.get("completed_at") is not None:
+            row["latency"] = record["completed_at"] - record["arrival"]
+        rows.append(row)
+    return rows
+
+
+def format_request_audit(records: Iterable[dict]) -> str:
+    """Plain-text table of every front-door request's disposition."""
+    rows = request_audit(records)
+    if not rows:
+        return "(no requests recorded)"
+    lines = [
+        f"{'idx':>5} {'app':<16} {'inv':>6} {'arrival':>10} "
+        f"{'status':<10} {'latency':>8}"
+    ]
+    for row in rows:
+        latency = row["latency"]
+        inv_id = row["invocation_id"]
+        lines.append(
+            f"{row['index']:>5} {row['app']:<16} "
+            f"{'-' if inv_id is None else inv_id:>6} "
+            f"{row['arrival']:>10.3f} {row['status']:<10} "
+            + (f"{latency:>8.3f}" if latency is not None else f"{'-':>8}")
+        )
+    return "\n".join(lines)
 
 
 def _fmt_keep_alive(value: float) -> str:
